@@ -1,0 +1,46 @@
+"""Figure 2 — accelerators running in isolation.
+
+Regenerates the per-(accelerator, workload size) comparison of the four
+coherence modes: normalised execution time and off-chip memory accesses,
+with each accelerator running alone on the motivation SoC.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import motivation_setup
+from repro.experiments.isolation import (
+    ISOLATION_SIZES,
+    best_mode_per_workload,
+    run_isolation_experiment,
+)
+from repro.experiments.report import report_isolation
+from repro.units import KB, MB
+
+from .conftest import is_full_scale
+
+
+def _run():
+    setup = motivation_setup(line_bytes=256)
+    sizes = dict(ISOLATION_SIZES) if is_full_scale() else {
+        "Small": 16 * KB,
+        "Medium": 256 * KB,
+        "Large": 2 * MB,
+    }
+    accelerators = setup.accelerators if is_full_scale() else setup.accelerators[:8]
+    return run_isolation_experiment(
+        setup, accelerators=accelerators, sizes=sizes, repeats=1
+    )
+
+
+def test_fig2_isolation(benchmark, emit):
+    measurements = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = report_isolation(measurements)
+    best = best_mode_per_workload(measurements)
+    winners = "\n".join(
+        f"  best mode for {acc:14s} {size:6s}: {mode.label}"
+        for (acc, size), mode in sorted(best.items())
+    )
+    emit("fig2_isolation", text + "\n\nBest mode per workload:\n" + winners)
+    # The headline observation of Section 3: the best mode is not the same
+    # for every (accelerator, size) pair.
+    assert len(set(best.values())) >= 2

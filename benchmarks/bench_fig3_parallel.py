@@ -1,0 +1,41 @@
+"""Figure 3 — performance degradation with parallel accelerators.
+
+Regenerates the 1/4/8/12-accelerator sweep with medium workloads under each
+coherence mode, normalised to the single-accelerator non-coherent-DMA run.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.parallel import (
+    degradation_summary,
+    normalize_parallel,
+    parallel_setup,
+    run_parallel_experiment,
+)
+from repro.experiments.report import report_parallel
+from repro.soc.coherence import CoherenceMode
+from repro.utils.tables import format_mapping
+
+from .conftest import is_full_scale
+
+
+def _run():
+    invocations = 4 if is_full_scale() else 3
+    return run_parallel_experiment(
+        parallel_setup(line_bytes=256), invocations_per_thread=invocations
+    )
+
+
+def test_fig3_parallel(benchmark, emit):
+    measurements = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = report_parallel(measurements)
+    summary = degradation_summary(measurements)
+    emit(
+        "fig3_parallel",
+        text + "\n\n" + format_mapping("Slowdown from 1 to 12 accelerators", dict(summary)),
+    )
+    table = normalize_parallel(measurements)
+    # Paper shape: every mode degrades with concurrency, and coherent DMA
+    # degrades more than non-coherent DMA.
+    assert table[12][CoherenceMode.COH_DMA.label]["exec"] > table[1][CoherenceMode.COH_DMA.label]["exec"]
+    assert summary[CoherenceMode.COH_DMA.label] > summary[CoherenceMode.NON_COH_DMA.label]

@@ -1,0 +1,35 @@
+"""Figure 5 — phase analysis of the evaluation application on SoC0.
+
+Regenerates the comparison of the eight coherence policies on the four
+phases (6 threads Large, 3 threads Variable, 10 threads Small, 4 threads
+Medium), normalised to the fixed non-coherent-DMA policy.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import traffic_setup
+from repro.experiments.phases import run_phase_analysis
+from repro.experiments.report import report_phases
+
+from .conftest import is_full_scale
+
+
+def _run():
+    setup = traffic_setup("SoC0", seed=3)
+    return run_phase_analysis(
+        setup=setup,
+        training_iterations=10 if is_full_scale() else 6,
+        loops_per_thread=2 if is_full_scale() else 1,
+        seed=3,
+    )
+
+
+def test_fig5_phases(benchmark, emit):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit("fig5_phases", report_phases(result))
+    # Cohmeleon must stay competitive with the best policy in every phase
+    # (the paper: it matches or improves on the best execution time).
+    for phase in result.phase_names:
+        best_exec = min(entry["exec"] for entry in result.table[phase].values())
+        cohmeleon_exec = result.table[phase]["cohmeleon"]["exec"]
+        assert cohmeleon_exec <= best_exec * 1.35

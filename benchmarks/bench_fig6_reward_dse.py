@@ -1,0 +1,35 @@
+"""Figure 6 — design-space exploration of the reward function on SoC0.
+
+Regenerates the scatter of normalised execution time versus normalised
+off-chip accesses for fifteen reward weightings plus the baseline policies.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import traffic_setup
+from repro.experiments.report import report_reward_dse
+from repro.experiments.reward_dse import REWARD_WEIGHTINGS, run_reward_dse
+from repro.utils.stats import mean
+
+from .conftest import is_full_scale
+
+
+def _run():
+    setup = traffic_setup("SoC0", seed=13)
+    weightings = REWARD_WEIGHTINGS if is_full_scale() else REWARD_WEIGHTINGS[::2]
+    return run_reward_dse(
+        setup=setup,
+        weightings=weightings,
+        training_iterations=8 if is_full_scale() else 4,
+        seed=13,
+    )
+
+
+def test_fig6_reward_dse(benchmark, emit):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit("fig6_reward_dse", report_reward_dse(result))
+    cohmeleon_points = result.cohmeleon_points()
+    assert cohmeleon_points
+    # Paper shape: the learned policies cluster at low execution time and
+    # low off-chip accesses relative to the fixed non-coherent baseline.
+    assert mean([p.norm_mem for p in cohmeleon_points]) <= 1.05

@@ -1,0 +1,36 @@
+"""Figure 7 — breakdown of coherence decisions.
+
+Regenerates the selection-frequency breakdown (per coherence mode, overall
+and per workload-size class) for Cohmeleon and the manually-tuned policy.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.breakdown import run_breakdown_experiment
+from repro.experiments.common import traffic_setup
+from repro.experiments.report import report_breakdown
+
+from .conftest import is_full_scale
+
+
+def _run():
+    setup = traffic_setup("SoC0", seed=17)
+    return run_breakdown_experiment(
+        setup=setup,
+        training_iterations=10 if is_full_scale() else 6,
+        seed=17,
+    )
+
+
+def test_fig7_breakdown(benchmark, emit):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit("fig7_breakdown", report_breakdown(result))
+    cohmeleon = result.breakdowns["cohmeleon"]
+    manual = result.breakdowns["manual"]
+    # Both policies must have made decisions in every mode category row.
+    assert cohmeleon.frequencies["All"]
+    assert manual.frequencies["All"]
+    # Every frequency row is a probability distribution.
+    for breakdown in result.breakdowns.values():
+        for frequencies in breakdown.frequencies.values():
+            assert abs(sum(frequencies.values()) - 1.0) < 1e-9

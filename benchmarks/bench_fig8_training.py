@@ -1,0 +1,59 @@
+"""Figure 8 — performance over training iterations.
+
+Regenerates the training curves: after every training iteration the frozen
+model is evaluated on a different application instance; budgets with
+different total iteration counts use correspondingly faster epsilon/alpha
+decay.  The paper's observation: a large improvement after the first
+iteration and convergence within roughly ten iterations.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import traffic_setup
+from repro.experiments.report import report_training
+from repro.experiments.training import run_training_study
+from repro.units import KB
+from repro.workloads.spec import ApplicationSpec, PhaseSpec, ThreadSpec
+
+from .conftest import is_full_scale
+
+
+def _quick_apps(setup):
+    """Reduced-size train/test applications for the quick benchmark scale."""
+    names = [descriptor.name for descriptor in setup.accelerators]
+
+    def app(tag, footprints):
+        threads = tuple(
+            ThreadSpec(
+                thread_id=f"{tag}-{i}",
+                accelerator_chain=(names[(i * 2 + len(tag)) % len(names)],),
+                footprint_bytes=footprint,
+                loop_count=1,
+            )
+            for i, footprint in enumerate(footprints)
+        )
+        return ApplicationSpec(name=f"fig8-{tag}", phases=(PhaseSpec(name=tag, threads=threads),))
+
+    train = app("train", (24 * KB, 200 * KB, 700 * KB, 48 * KB, 300 * KB))
+    test = app("test", (32 * KB, 240 * KB, 900 * KB, 16 * KB))
+    return train, test
+
+
+def _run():
+    setup = traffic_setup("SoC1", seed=23)
+    if is_full_scale():
+        return run_training_study(setup=setup, budgets=(10, 30, 50), seed=23)
+    train, test = _quick_apps(setup)
+    return run_training_study(
+        setup=setup, budgets=(5, 10), seed=23, train_app=train, test_app=test
+    )
+
+
+def test_fig8_training(benchmark, emit):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit("fig8_training", report_training(result))
+    for budget, curve in result.curves.items():
+        # Training must not make the policy worse than the untrained
+        # (random-equivalent) model by the end of the schedule.
+        assert curve.final_point().norm_exec <= curve.initial_point().norm_exec * 1.10
+        assert len(curve.points) == budget + 1

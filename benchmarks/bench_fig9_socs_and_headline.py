@@ -1,0 +1,43 @@
+"""Figure 9 and the Section 6 headline numbers.
+
+Regenerates the cross-SoC comparison (SoC0-Streaming, SoC0-Irregular,
+SoC1-SoC3 with traffic generators, and the SoC4/SoC5/SoC6 case studies)
+for the eight coherence policies, and aggregates it into the paper's
+headline summary: average speedup and off-chip-access reduction of
+Cohmeleon versus the five fixed (design-time) policies, plus the
+comparison against the manually-tuned runtime heuristic.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import report_headline, report_socs
+from repro.experiments.socs import FIGURE9_SOC_LABELS, run_soc_comparison
+from repro.experiments.summary import summarize_headline
+
+from .conftest import is_full_scale
+
+
+def _run():
+    if is_full_scale():
+        labels = FIGURE9_SOC_LABELS
+        iterations = 10
+    else:
+        labels = ("SoC0-Streaming", "SoC0-Irregular", "SoC1", "SoC2", "SoC4", "SoC5", "SoC6")
+        iterations = 4
+    return run_soc_comparison(labels=labels, training_iterations=iterations, seed=29)
+
+
+def test_fig9_socs_and_headline(benchmark, emit):
+    comparison = benchmark.pedantic(_run, rounds=1, iterations=1)
+    summary = summarize_headline(comparison)
+    emit(
+        "fig9_socs_and_headline",
+        report_socs(comparison) + "\n\n" + report_headline(summary),
+    )
+    # Paper shape: Cohmeleon improves on the fixed policies on average (the
+    # paper reports a 38 % speedup and a 66 % reduction of off-chip
+    # accesses; the exact magnitudes depend on the platform).
+    assert summary.speedup_vs_fixed > 0.0
+    assert summary.mem_reduction_vs_fixed > 0.0
+    # And it stays close to the manually-tuned heuristic's execution time.
+    assert summary.exec_vs_manual < 1.25

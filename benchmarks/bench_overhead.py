@@ -1,0 +1,34 @@
+"""Section 6 — Cohmeleon runtime overhead.
+
+Regenerates the measurement of the fraction of execution time spent in
+Cohmeleon's status tracking, decision making, and monitor reads across
+workload footprints (the paper reports 3-6 % at 16 KB, below 0.1 % at 4 MB).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import motivation_setup
+from repro.experiments.overhead import run_overhead_experiment
+from repro.experiments.report import report_overhead
+from repro.units import KB, MB
+
+from .conftest import is_full_scale
+
+
+def _run():
+    setup = motivation_setup(line_bytes=256)
+    footprints = (
+        (16 * KB, 64 * KB, 256 * KB, 1 * MB, 4 * MB)
+        if is_full_scale()
+        else (16 * KB, 256 * KB, 2 * MB)
+    )
+    return run_overhead_experiment(setup=setup, footprints=footprints, invocations_per_point=2)
+
+
+def test_overhead(benchmark, emit):
+    measurements = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit("overhead", report_overhead(measurements))
+    # Overhead decreases as the workload grows, and is small for the
+    # largest footprint.
+    assert measurements[0].overhead_fraction > measurements[-1].overhead_fraction
+    assert measurements[-1].overhead_fraction < 0.01

@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+and prints the corresponding rows/series (normalised execution time and
+off-chip memory accesses).  The reports are also written to
+``benchmarks/results/`` so they survive output capturing.
+
+The benchmarks run each experiment exactly once (``benchmark.pedantic`` with
+one round): the measured quantity is the wall-clock cost of regenerating
+the experiment, and the printed report is the reproduced result itself.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Scale factor hook: setting REPRO_BENCH_SCALE=full runs the heavier,
+#: closer-to-paper configurations; the default keeps the whole suite at a
+#: few minutes of wall-clock time.
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def is_full_scale() -> bool:
+    """Whether the benchmarks should run at full (paper) scale."""
+    return BENCH_SCALE == "full"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(capsys, _results_dir):
+    """Return a function that prints a report and archives it to a file."""
+
+    def _emit(name: str, text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

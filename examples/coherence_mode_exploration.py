@@ -1,0 +1,61 @@
+"""Explore how the best coherence mode changes with workload size.
+
+This example reproduces the paper's motivation (Section 3) in miniature:
+it runs a handful of accelerators in isolation on the motivation SoC with
+Small / Medium / Large workloads under each of the four coherence modes and
+prints execution time and off-chip accesses normalised to non-coherent DMA
+— showing that the winner depends on both the accelerator and the size.
+
+Run with:  python examples/coherence_mode_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.accelerators.library import accelerator_by_name
+from repro.experiments.common import motivation_setup
+from repro.experiments.isolation import (
+    best_mode_per_workload,
+    normalize_isolation,
+    run_isolation_experiment,
+)
+from repro.soc.coherence import COHERENCE_MODES
+from repro.units import KB, MB
+from repro.utils.tables import format_table
+
+ACCELERATORS = ("Autoencoder", "FFT", "GEMM", "SPMV")
+SIZES = {"Small": 16 * KB, "Medium": 256 * KB, "Large": 2 * MB}
+
+
+def main() -> None:
+    setup = motivation_setup(line_bytes=256)
+    measurements = run_isolation_experiment(
+        setup,
+        accelerators=[accelerator_by_name(name) for name in ACCELERATORS],
+        sizes=SIZES,
+    )
+    table = normalize_isolation(measurements)
+
+    headers = ["accelerator", "size"]
+    for mode in COHERENCE_MODES:
+        headers.extend([f"{mode.label} time", f"{mode.label} mem"])
+    rows = []
+    for (accelerator, size), row in sorted(table.items()):
+        cells = [accelerator, size]
+        for mode in COHERENCE_MODES:
+            cells.append(f"{row[mode.label]['exec']:.2f}")
+            cells.append(f"{row[mode.label]['mem']:.2f}")
+        rows.append(cells)
+    print(format_table(headers, rows, title="Accelerators in isolation (normalised to non-coh-dma)"))
+
+    print()
+    best = best_mode_per_workload(measurements)
+    rows = [[acc, size, mode.label] for (acc, size), mode in sorted(best.items())]
+    print(format_table(
+        ["accelerator", "size", "fastest coherence mode"],
+        rows,
+        title="The best mode changes with the accelerator and the workload size",
+    ))
+
+
+if __name__ == "__main__":
+    main()

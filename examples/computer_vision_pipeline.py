@@ -1,0 +1,85 @@
+"""Case study: the computer-vision SoC (SoC6).
+
+SoC6 provides three instances of an image-classification pipeline composed
+of three accelerators: night-vision (undarken), autoencoder (denoise), and
+MLP (classify).  This example trains Cohmeleon online on one instance of
+the workload and then shows, per pipeline stage and workload size, which
+coherence mode the learned policy selects — the same information the
+paper's Figure 7 breaks down.
+
+Run with:  python examples/computer_vision_pipeline.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import build_system
+from repro.core import CohmeleonPolicy
+from repro.units import KB
+from repro.utils.tables import format_table
+from repro.workloads.case_studies import case_study_accelerators, case_study_application
+from repro.workloads.runner import run_application
+from repro.workloads.sizes import size_class_of
+
+TRAINING_ITERATIONS = 5
+
+
+def main() -> None:
+    policy = CohmeleonPolicy()
+    soc, runtime = build_system(
+        "SoC6", policy=policy, accelerators=case_study_accelerators("SoC6")
+    )
+
+    training_app = case_study_application("SoC6", instance=0)
+    test_app = case_study_application("SoC6", instance=1)
+
+    print(f"Training Cohmeleon online for {TRAINING_ITERATIONS} iterations "
+          f"({training_app.total_invocations} invocations per iteration)...")
+    for iteration in range(TRAINING_ITERATIONS):
+        policy.set_training_progress(iteration / TRAINING_ITERATIONS)
+        run_application(soc, runtime, training_app)
+    policy.freeze()
+
+    result = run_application(soc, runtime, test_app)
+
+    # Per pipeline stage: which coherence modes did the learned policy use?
+    per_stage = {}
+    for invocation in result.invocations:
+        key = (
+            invocation.accelerator_name,
+            size_class_of(invocation.footprint_bytes, soc.config).value,
+        )
+        per_stage.setdefault(key, Counter())[invocation.mode.label] += 1
+
+    rows = []
+    for (stage, size), counts in sorted(per_stage.items()):
+        total = sum(counts.values())
+        distribution = ", ".join(
+            f"{mode} {100 * count / total:.0f}%" for mode, count in counts.most_common()
+        )
+        rows.append([stage, size, total, distribution])
+    print()
+    print(format_table(
+        ["pipeline stage", "workload size", "invocations", "chosen coherence modes"],
+        rows,
+        title="Learned coherence decisions for the image-classification pipelines",
+    ))
+
+    print()
+    rows = [
+        [phase.name, f"{phase.execution_cycles:,.0f}", phase.ddr_accesses]
+        for phase in result.phases
+    ]
+    print(format_table(
+        ["phase", "execution cycles", "off-chip accesses"],
+        rows,
+        title="Test-application results under the learned policy",
+    ))
+    print()
+    print(f"Total invocations: {len(result.invocations)}; "
+          f"Q-table coverage: {policy.qtable.coverage():.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Quickstart: run a multithreaded application with Cohmeleon on SoC1.
+
+Builds an SoC from the Table 4 ``SoC1`` preset, binds the ESP accelerator
+library to its tiles, runs a small two-phase application while Cohmeleon
+learns online, and prints the per-invocation coherence decisions and the
+per-phase totals.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import build_system
+from repro.core import CohmeleonPolicy
+from repro.units import KB, MB
+from repro.utils.tables import format_table
+from repro.workloads.runner import run_application
+from repro.workloads.spec import ApplicationSpec, PhaseSpec, ThreadSpec
+
+
+def build_application() -> ApplicationSpec:
+    """A small application: a light phase and a heavier parallel phase."""
+    light = PhaseSpec(
+        name="light",
+        threads=(
+            ThreadSpec("t0", ("FFT", "GEMM"), footprint_bytes=24 * KB, loop_count=2),
+            ThreadSpec("t1", ("Autoencoder",), footprint_bytes=48 * KB, loop_count=2),
+        ),
+    )
+    heavy = PhaseSpec(
+        name="heavy",
+        threads=(
+            ThreadSpec("h0", ("FFT", "GEMM"), footprint_bytes=1 * MB, loop_count=1),
+            ThreadSpec("h1", ("Conv-2D",), footprint_bytes=512 * KB, loop_count=2),
+            ThreadSpec("h2", ("Cholesky",), footprint_bytes=96 * KB, loop_count=2),
+        ),
+    )
+    return ApplicationSpec(name="quickstart", phases=(light, heavy))
+
+
+def main() -> None:
+    policy = CohmeleonPolicy()
+    soc, runtime = build_system("SoC1", policy=policy)
+    application = build_application()
+
+    print(f"SoC: {soc.config.name}  "
+          f"({soc.config.num_accelerator_tiles} accelerator tiles, "
+          f"{soc.config.num_mem_tiles} memory tiles, "
+          f"{soc.config.total_llc_bytes // KB} KB LLC)")
+    print(f"Bound accelerators: {', '.join(runtime.bound_accelerator_names())}")
+    print()
+
+    # Run the application twice: Cohmeleon learns online during the first
+    # run and exploits what it learned during the second.
+    for label, progress in (("learning run", 0.0), ("second run", 0.5)):
+        policy.set_training_progress(progress)
+        result = run_application(soc, runtime, application)
+        rows = [
+            [
+                phase.name,
+                f"{phase.execution_cycles:,.0f}",
+                phase.ddr_accesses,
+                phase.invocation_count,
+            ]
+            for phase in result.phases
+        ]
+        print(format_table(
+            ["phase", "execution cycles", "off-chip accesses", "invocations"],
+            rows,
+            title=f"Results ({label})",
+        ))
+        print()
+
+    rows = [
+        [
+            invocation.accelerator_name,
+            f"{invocation.footprint_bytes // KB} KB",
+            invocation.mode.label,
+            f"{invocation.total_cycles:,.0f}",
+            f"{invocation.ddr_accesses:,.0f}",
+        ]
+        for invocation in result.invocations[:12]
+    ]
+    print(format_table(
+        ["accelerator", "footprint", "chosen mode", "cycles", "off-chip accesses"],
+        rows,
+        title="Per-invocation coherence decisions (second run, first 12)",
+    ))
+    print()
+    print(f"Q-table coverage after learning: {policy.qtable.coverage():.1%} of 243 states")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries all metadata; this file exists so that
+``pip install -e .`` works in offline environments whose setuptools/pip
+combination cannot build PEP 517 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,90 @@
+"""Reproduction of *Cohmeleon: Learning-Based Orchestration of Accelerator
+Coherence in Heterogeneous SoCs* (MICRO 2021).
+
+The library is organised as follows:
+
+* :mod:`repro.sim` — a small discrete-event simulation kernel;
+* :mod:`repro.soc` — the SoC substrate (NoC, caches, LLC partitions, DRAM
+  controllers, coherence-mode datapaths, hardware monitors);
+* :mod:`repro.accelerators` — behavioural accelerator models and the
+  configurable traffic generator;
+* :mod:`repro.runtime` — the ESP-like accelerator invocation API with the
+  sense/decide/actuate/evaluate loop;
+* :mod:`repro.core` — Cohmeleon itself (state space, reward, Q-learning
+  agent) and the baseline coherence policies;
+* :mod:`repro.workloads` — multithreaded evaluation applications;
+* :mod:`repro.experiments` — harnesses that regenerate every figure and
+  table of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import build_system
+>>> from repro.core import CohmeleonPolicy
+>>> soc, runtime = build_system("SoC1", policy=CohmeleonPolicy())
+>>> sorted(runtime.bound_accelerator_names())[:3]
+['Autoencoder', 'Cholesky', 'Conv-2D']
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.accelerators.descriptor import AcceleratorDescriptor
+from repro.accelerators.library import ACCELERATOR_LIBRARY, accelerator_by_name
+from repro.core.policies import CoherencePolicy, CohmeleonPolicy, FixedPolicy
+from repro.runtime.api import EspRuntime
+from repro.soc.coherence import COHERENCE_MODES, CoherenceMode
+from repro.soc.config import SoCConfig, soc_preset
+from repro.soc.soc import Soc
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "CoherenceMode",
+    "COHERENCE_MODES",
+    "SoCConfig",
+    "soc_preset",
+    "Soc",
+    "EspRuntime",
+    "AcceleratorDescriptor",
+    "ACCELERATOR_LIBRARY",
+    "accelerator_by_name",
+    "CoherencePolicy",
+    "CohmeleonPolicy",
+    "FixedPolicy",
+    "build_system",
+]
+
+
+def build_system(
+    config: "SoCConfig | str",
+    policy: Optional[CoherencePolicy] = None,
+    accelerators: Optional[Sequence[AcceleratorDescriptor]] = None,
+) -> Tuple[Soc, EspRuntime]:
+    """Build a SoC and its invocation runtime in one call.
+
+    Parameters
+    ----------
+    config:
+        A :class:`SoCConfig` or the name of a Table 4 preset (e.g. ``"SoC0"``).
+    policy:
+        The coherence-selection policy; defaults to Cohmeleon.
+    accelerators:
+        Descriptors to bind to the accelerator tiles, in order.  Defaults to
+        the ESP accelerator library, truncated or cycled to fill the SoC's
+        accelerator tiles.
+    """
+    if isinstance(config, str):
+        config = soc_preset(config)
+    soc = Soc(config)
+    runtime = EspRuntime(soc, policy if policy is not None else CohmeleonPolicy())
+
+    if accelerators is None:
+        library: List[AcceleratorDescriptor] = list(ACCELERATOR_LIBRARY)
+        accelerators = [
+            library[index % len(library)]
+            for index in range(config.num_accelerator_tiles)
+        ]
+    runtime.bind_library(list(accelerators)[: config.num_accelerator_tiles])
+    return soc, runtime

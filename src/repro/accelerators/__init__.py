@@ -1,0 +1,30 @@
+"""Behavioural models of fixed-function loosely-coupled accelerators.
+
+An accelerator is characterised, from the SoC's point of view, by its
+pattern of communication with the memory hierarchy (paper Section 5).  The
+descriptors in this package capture exactly the properties the paper's
+traffic generator exposes: access pattern, DMA burst length, compute
+duration, data-reuse factor, read-to-write ratio, stride length, access
+fraction, and in-place storage.
+"""
+
+from repro.accelerators.descriptor import AccessPattern, AcceleratorDescriptor
+from repro.accelerators.invocation import InvocationRequest, InvocationResult
+from repro.accelerators.library import (
+    ACCELERATOR_LIBRARY,
+    accelerator_by_name,
+    accelerator_names,
+)
+from repro.accelerators.traffic import TrafficGeneratorConfig, TrafficGeneratorFactory
+
+__all__ = [
+    "AccessPattern",
+    "AcceleratorDescriptor",
+    "InvocationRequest",
+    "InvocationResult",
+    "ACCELERATOR_LIBRARY",
+    "accelerator_by_name",
+    "accelerator_names",
+    "TrafficGeneratorConfig",
+    "TrafficGeneratorFactory",
+]

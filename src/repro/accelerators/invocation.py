@@ -1,0 +1,100 @@
+"""Invocation request and result records.
+
+An :class:`InvocationRequest` describes one call to an accelerator (which
+accelerator, which tile it is bound to, which buffer it operates on, how
+big the workload is).  An :class:`InvocationResult` is what the runtime's
+*evaluate* step produces once the accelerator completes: the measured
+execution time, the hardware-monitor readings, the coherence mode used, and
+the DDR accesses attributed to the invocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.accelerators.descriptor import AcceleratorDescriptor
+from repro.soc.address import Buffer
+from repro.soc.coherence import CoherenceMode
+
+
+@dataclass
+class InvocationRequest:
+    """One accelerator invocation to be executed by the runtime."""
+
+    accelerator: AcceleratorDescriptor
+    tile_name: str
+    buffer: Buffer
+    footprint_bytes: int
+    #: Index of the CPU/thread issuing the invocation (used to model which
+    #: private cache holds the warm data).
+    cpu_index: int = 0
+    #: Optional identifier of the application thread issuing the call.
+    thread_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.footprint_bytes <= 0:
+            raise ValueError("invocation footprint must be positive")
+        if self.footprint_bytes > self.buffer.size:
+            raise ValueError(
+                f"invocation footprint {self.footprint_bytes} exceeds buffer "
+                f"size {self.buffer.size}"
+            )
+
+
+@dataclass
+class InvocationResult:
+    """Measured outcome of one accelerator invocation."""
+
+    accelerator_name: str
+    tile_name: str
+    mode: CoherenceMode
+    footprint_bytes: int
+    #: Total wall-clock cycles of the invocation, including driver overhead
+    #: and any software cache flushes.
+    total_cycles: float
+    #: Cycles the accelerator spent actively executing (excludes driver).
+    accelerator_cycles: float
+    #: Cycles the accelerator spent communicating with memory.
+    comm_cycles: float
+    #: Off-chip accesses attributed to this invocation (cache-line units).
+    ddr_accesses: float
+    #: Overhead cycles added by the coherence-selection runtime itself.
+    policy_overhead_cycles: float = 0.0
+    #: Simulation time at which the invocation started / finished.
+    start_time: float = 0.0
+    finish_time: float = 0.0
+    #: Raw datapath counters, useful for debugging and ablations.
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def comm_ratio(self) -> float:
+        """Fraction of accelerator cycles spent communicating with memory."""
+        if self.accelerator_cycles <= 0:
+            return 0.0
+        return min(self.comm_cycles / self.accelerator_cycles, 1.0)
+
+    @property
+    def scaled_exec(self) -> float:
+        """Execution time divided by footprint (the paper's ``exec(k, i)``)."""
+        return self.total_cycles / self.footprint_bytes
+
+    @property
+    def scaled_mem(self) -> float:
+        """Off-chip accesses divided by footprint (the paper's ``mem(k, i)``)."""
+        return self.ddr_accesses / self.footprint_bytes
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary form, convenient for reports and CSV dumps."""
+        return {
+            "accelerator": self.accelerator_name,
+            "tile": self.tile_name,
+            "mode": self.mode.label,
+            "footprint_bytes": self.footprint_bytes,
+            "total_cycles": self.total_cycles,
+            "accelerator_cycles": self.accelerator_cycles,
+            "comm_cycles": self.comm_cycles,
+            "comm_ratio": self.comm_ratio,
+            "ddr_accesses": self.ddr_accesses,
+            "policy_overhead_cycles": self.policy_overhead_cycles,
+        }

@@ -1,0 +1,204 @@
+"""The accelerator library used throughout the evaluation.
+
+These are behavioural models of the eleven ESP accelerators plus the NVDLA
+that the paper deploys (Section 3, Table 2): denoising autoencoder,
+Cholesky decomposition, 2D convolution, 1D FFT, dense matrix multiplication
+(GEMM), MLP classifier, MRI-Q, NVDLA, the four-engine night-vision
+pipeline, sort, sparse matrix-vector multiplication (SPMV), and Viterbi.
+
+The communication parameters are chosen to reflect each kernel's well-known
+characteristics (e.g. GEMM and Cholesky are compute-bound with high data
+reuse; SPMV is irregular and latency-bound; sort and FFT stream data over
+multiple passes and update it in place).  Absolute values are not taken
+from the paper — only the resulting relative behaviour across coherence
+modes matters for the reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.accelerators.descriptor import AccessPattern, AcceleratorDescriptor
+from repro.errors import ConfigurationError
+from repro.units import KB
+
+AUTOENCODER = AcceleratorDescriptor(
+    name="Autoencoder",
+    access_pattern=AccessPattern.STREAMING,
+    burst_bytes=1024,
+    compute_cycles_per_byte=0.3,
+    reuse_factor=2.0,
+    read_write_ratio=2.0,
+    local_mem_bytes=64 * KB,
+)
+
+CHOLESKY = AcceleratorDescriptor(
+    name="Cholesky",
+    access_pattern=AccessPattern.STRIDED,
+    burst_bytes=512,
+    compute_cycles_per_byte=3.0,
+    reuse_factor=4.0,
+    read_write_ratio=1.0,
+    in_place=True,
+    local_mem_bytes=96 * KB,
+    stride_bytes=256,
+)
+
+CONV2D = AcceleratorDescriptor(
+    name="Conv-2D",
+    access_pattern=AccessPattern.STREAMING,
+    burst_bytes=1024,
+    compute_cycles_per_byte=1.2,
+    reuse_factor=3.0,
+    read_write_ratio=2.0,
+    local_mem_bytes=128 * KB,
+)
+
+FFT = AcceleratorDescriptor(
+    name="FFT",
+    access_pattern=AccessPattern.STREAMING,
+    burst_bytes=2048,
+    compute_cycles_per_byte=0.5,
+    reuse_factor=3.0,
+    read_write_ratio=1.0,
+    in_place=True,
+    local_mem_bytes=64 * KB,
+)
+
+GEMM = AcceleratorDescriptor(
+    name="GEMM",
+    access_pattern=AccessPattern.STRIDED,
+    burst_bytes=512,
+    compute_cycles_per_byte=2.5,
+    reuse_factor=4.0,
+    read_write_ratio=3.0,
+    local_mem_bytes=128 * KB,
+    stride_bytes=512,
+)
+
+MLP = AcceleratorDescriptor(
+    name="MLP",
+    access_pattern=AccessPattern.STREAMING,
+    burst_bytes=1024,
+    compute_cycles_per_byte=0.5,
+    reuse_factor=2.0,
+    read_write_ratio=4.0,
+    local_mem_bytes=64 * KB,
+)
+
+MRI_Q = AcceleratorDescriptor(
+    name="MRI-Q",
+    access_pattern=AccessPattern.STREAMING,
+    burst_bytes=1024,
+    compute_cycles_per_byte=6.0,
+    reuse_factor=1.0,
+    read_write_ratio=2.0,
+    local_mem_bytes=64 * KB,
+)
+
+NVDLA = AcceleratorDescriptor(
+    name="NVDLA",
+    access_pattern=AccessPattern.STREAMING,
+    burst_bytes=2048,
+    compute_cycles_per_byte=1.5,
+    reuse_factor=3.0,
+    read_write_ratio=3.0,
+    local_mem_bytes=256 * KB,
+)
+
+NIGHT_VISION = AcceleratorDescriptor(
+    name="Night-vision",
+    access_pattern=AccessPattern.STREAMING,
+    burst_bytes=1024,
+    compute_cycles_per_byte=0.6,
+    reuse_factor=4.0,
+    read_write_ratio=1.0,
+    in_place=True,
+    local_mem_bytes=96 * KB,
+)
+
+SORT = AcceleratorDescriptor(
+    name="Sort",
+    access_pattern=AccessPattern.STREAMING,
+    burst_bytes=1024,
+    compute_cycles_per_byte=0.3,
+    reuse_factor=4.0,
+    read_write_ratio=1.0,
+    in_place=True,
+    local_mem_bytes=64 * KB,
+)
+
+SPMV = AcceleratorDescriptor(
+    name="SPMV",
+    access_pattern=AccessPattern.IRREGULAR,
+    burst_bytes=64,
+    compute_cycles_per_byte=0.3,
+    reuse_factor=2.0,
+    read_write_ratio=4.0,
+    local_mem_bytes=32 * KB,
+    access_fraction=0.6,
+)
+
+VITERBI = AcceleratorDescriptor(
+    name="Viterbi",
+    access_pattern=AccessPattern.STRIDED,
+    burst_bytes=256,
+    compute_cycles_per_byte=1.5,
+    reuse_factor=2.0,
+    read_write_ratio=2.0,
+    local_mem_bytes=64 * KB,
+    stride_bytes=128,
+)
+
+#: The full library in the order used by the paper's figures.
+ACCELERATOR_LIBRARY: Tuple[AcceleratorDescriptor, ...] = (
+    AUTOENCODER,
+    CHOLESKY,
+    CONV2D,
+    FFT,
+    GEMM,
+    MLP,
+    MRI_Q,
+    NVDLA,
+    NIGHT_VISION,
+    SORT,
+    SPMV,
+    VITERBI,
+)
+
+_BY_NAME: Dict[str, AcceleratorDescriptor] = {acc.name: acc for acc in ACCELERATOR_LIBRARY}
+# Also accept a few common aliases.
+_ALIASES: Dict[str, str] = {
+    "conv2d": "Conv-2D",
+    "conv-2d": "Conv-2D",
+    "mriq": "MRI-Q",
+    "mri-q": "MRI-Q",
+    "nightvision": "Night-vision",
+    "night-vision": "Night-vision",
+    "autoencoder": "Autoencoder",
+    "cholesky": "Cholesky",
+    "fft": "FFT",
+    "gemm": "GEMM",
+    "mlp": "MLP",
+    "nvdla": "NVDLA",
+    "sort": "Sort",
+    "spmv": "SPMV",
+    "viterbi": "Viterbi",
+}
+
+
+def accelerator_names() -> List[str]:
+    """Names of every accelerator in the library, in canonical order."""
+    return [accelerator.name for accelerator in ACCELERATOR_LIBRARY]
+
+
+def accelerator_by_name(name: str) -> AcceleratorDescriptor:
+    """Look up an accelerator by (case-insensitive) name or alias."""
+    if name in _BY_NAME:
+        return _BY_NAME[name]
+    canonical = _ALIASES.get(name.lower())
+    if canonical is not None:
+        return _BY_NAME[canonical]
+    raise ConfigurationError(
+        f"unknown accelerator {name!r}; available: {accelerator_names()}"
+    )

@@ -1,0 +1,123 @@
+"""Configurable traffic generator (paper Section 5).
+
+The paper evaluates Cohmeleon on SoCs populated with a *traffic generator*:
+an accelerator whose communication behaviour is configurable with respect
+to the basic properties that characterise fixed-function accelerators.
+This module provides the same abstraction in software: a
+:class:`TrafficGeneratorConfig` holds the eight parameters listed in the
+paper, and :class:`TrafficGeneratorFactory` produces randomized descriptor
+instances covering the whole space (or restricted to a single access
+pattern, which is how the paper builds the "SoC0 — Streaming" and "SoC0 —
+Irregular" configurations of Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.accelerators.descriptor import AccessPattern, AcceleratorDescriptor
+from repro.errors import ConfigurationError
+from repro.units import KB
+from repro.utils.rng import SeededRNG
+
+
+@dataclass(frozen=True)
+class TrafficGeneratorConfig:
+    """The eight traffic-generator parameters of the paper."""
+
+    access_pattern: AccessPattern = AccessPattern.STREAMING
+    burst_bytes: int = 1024
+    compute_cycles_per_byte: float = 4.0
+    reuse_factor: float = 1.0
+    read_write_ratio: float = 1.0
+    stride_bytes: int = 256
+    access_fraction: float = 1.0
+    in_place: bool = False
+    local_mem_bytes: int = 64 * KB
+
+    def to_descriptor(self, name: str = "TrafficGen") -> AcceleratorDescriptor:
+        """Materialise this configuration as an accelerator descriptor."""
+        stride = self.stride_bytes if self.access_pattern is AccessPattern.STRIDED else 0
+        fraction = (
+            self.access_fraction if self.access_pattern is AccessPattern.IRREGULAR else 1.0
+        )
+        return AcceleratorDescriptor(
+            name=name,
+            access_pattern=self.access_pattern,
+            burst_bytes=self.burst_bytes,
+            compute_cycles_per_byte=self.compute_cycles_per_byte,
+            reuse_factor=self.reuse_factor,
+            read_write_ratio=self.read_write_ratio,
+            in_place=self.in_place,
+            local_mem_bytes=self.local_mem_bytes,
+            stride_bytes=stride,
+            access_fraction=fraction,
+        )
+
+
+class TrafficGeneratorFactory:
+    """Produces traffic-generator instances that span the parameter space."""
+
+    #: Ranges used when sampling random configurations; they cover the same
+    #: qualitative space as the paper's generator (long streaming bursts to
+    #: single-word irregular accesses, compute-bound to communication-bound).
+    BURST_CHOICES: Sequence[int] = (64, 128, 256, 512, 1024, 2048, 4096)
+    COMPUTE_RANGE = (0.1, 2.0)
+    REUSE_CHOICES: Sequence[float] = (1.0, 2.0, 3.0, 4.0)
+    READ_WRITE_CHOICES: Sequence[float] = (0.5, 1.0, 2.0, 4.0)
+    STRIDE_CHOICES: Sequence[int] = (128, 256, 512, 1024)
+    ACCESS_FRACTION_RANGE = (0.2, 0.8)
+    LOCAL_MEM_CHOICES: Sequence[int] = (32 * KB, 64 * KB, 128 * KB)
+
+    def __init__(self, rng: Optional[SeededRNG] = None) -> None:
+        self.rng = rng if rng is not None else SeededRNG(0)
+
+    # ------------------------------------------------------------------
+    def random_config(
+        self, pattern: Optional[AccessPattern] = None
+    ) -> TrafficGeneratorConfig:
+        """Sample one traffic-generator configuration."""
+        rng = self.rng
+        if pattern is None:
+            pattern = rng.choice(list(AccessPattern))
+        if pattern is AccessPattern.IRREGULAR:
+            burst = rng.choice([64, 128])
+        else:
+            burst = rng.choice([b for b in self.BURST_CHOICES if b >= 256])
+        return TrafficGeneratorConfig(
+            access_pattern=pattern,
+            burst_bytes=burst,
+            compute_cycles_per_byte=rng.uniform(*self.COMPUTE_RANGE),
+            reuse_factor=rng.choice(list(self.REUSE_CHOICES)),
+            read_write_ratio=rng.choice(list(self.READ_WRITE_CHOICES)),
+            stride_bytes=rng.choice(list(self.STRIDE_CHOICES)),
+            access_fraction=rng.uniform(*self.ACCESS_FRACTION_RANGE),
+            in_place=rng.maybe(0.3),
+            local_mem_bytes=rng.choice(list(self.LOCAL_MEM_CHOICES)),
+        )
+
+    def random_descriptor(
+        self, index: int, pattern: Optional[AccessPattern] = None
+    ) -> AcceleratorDescriptor:
+        """Sample one traffic-generator accelerator descriptor."""
+        return self.random_config(pattern).to_descriptor(name=f"TrafficGen{index}")
+
+    def build_set(
+        self, count: int, pattern: Optional[AccessPattern] = None
+    ) -> List[AcceleratorDescriptor]:
+        """Build ``count`` traffic generators, optionally all with one pattern."""
+        if count <= 0:
+            raise ConfigurationError("traffic-generator count must be positive")
+        return [self.random_descriptor(index, pattern) for index in range(count)]
+
+    def build_mixed_set(self, count: int) -> List[AcceleratorDescriptor]:
+        """Build a set guaranteed to include all three access patterns."""
+        if count <= 0:
+            raise ConfigurationError("traffic-generator count must be positive")
+        patterns = list(AccessPattern)
+        descriptors: List[AcceleratorDescriptor] = []
+        for index in range(count):
+            pattern = patterns[index % len(patterns)]
+            descriptors.append(self.random_descriptor(index, pattern))
+        return descriptors

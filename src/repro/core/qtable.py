@@ -1,0 +1,138 @@
+"""Tabular Q-value storage.
+
+The Q-table has one row per discretised state (243) and one column per
+action (the four coherence modes), i.e. 972 entries as in the paper.  The
+update rule is the one the paper gives::
+
+    Q(s, a) <- (1 - alpha) * Q(s, a) + alpha * R(s, a)
+
+(there is no next-state bootstrap term: each invocation is an independent
+decision whose reward arrives before the next decision for that
+accelerator, so the problem is treated as a contextual bandit).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.state import NUM_STATES, CoherenceState
+from repro.errors import PolicyError
+from repro.soc.coherence import COHERENCE_MODES, CoherenceMode, mode_index
+from repro.utils.rng import SeededRNG
+
+
+class QTable:
+    """Q-values for every (state, coherence mode) pair."""
+
+    def __init__(self, num_states: int = NUM_STATES, initial_value: float = 0.0) -> None:
+        if num_states <= 0:
+            raise PolicyError("the Q-table needs at least one state")
+        self.num_states = num_states
+        self.num_actions = len(COHERENCE_MODES)
+        self._values = np.full((num_states, self.num_actions), float(initial_value))
+        self._updates = np.zeros((num_states, self.num_actions), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def _state_index(self, state: "CoherenceState | int") -> int:
+        index = state.index if isinstance(state, CoherenceState) else int(state)
+        if not 0 <= index < self.num_states:
+            raise PolicyError(f"state index {index} out of range")
+        return index
+
+    def value(self, state: "CoherenceState | int", mode: CoherenceMode) -> float:
+        """Q-value of taking ``mode`` from ``state``."""
+        return float(self._values[self._state_index(state), mode_index(mode)])
+
+    def values_for(self, state: "CoherenceState | int") -> Dict[CoherenceMode, float]:
+        """All four Q-values of ``state``."""
+        row = self._values[self._state_index(state)]
+        return {mode: float(row[mode_index(mode)]) for mode in COHERENCE_MODES}
+
+    def update(
+        self,
+        state: "CoherenceState | int",
+        mode: CoherenceMode,
+        reward: float,
+        alpha: float,
+    ) -> float:
+        """Apply the paper's exponential-averaging update; return the new value."""
+        if not 0.0 <= alpha <= 1.0:
+            raise PolicyError(f"learning rate must be in [0, 1], got {alpha}")
+        s = self._state_index(state)
+        a = mode_index(mode)
+        new_value = (1.0 - alpha) * self._values[s, a] + alpha * float(reward)
+        self._values[s, a] = new_value
+        self._updates[s, a] += 1
+        return float(new_value)
+
+    def best_mode(
+        self,
+        state: "CoherenceState | int",
+        allowed: Optional[Sequence[CoherenceMode]] = None,
+        rng: Optional["SeededRNG"] = None,
+    ) -> CoherenceMode:
+        """Mode with the highest Q-value in ``state`` (restricted to ``allowed``).
+
+        Ties — in particular the all-zero rows of states that have never
+        been visited — are broken uniformly at random when an ``rng`` is
+        provided, so the untrained table does not systematically favour the
+        first action of the canonical ordering.
+        """
+        if allowed is not None and len(allowed) == 0:
+            raise PolicyError("no coherence modes available to choose from")
+        candidates: Sequence[CoherenceMode] = allowed if allowed else COHERENCE_MODES
+        row = self._values[self._state_index(state)]
+        best_value = max(row[mode_index(mode)] for mode in candidates)
+        best_candidates = [
+            mode for mode in candidates if row[mode_index(mode)] >= best_value - 1e-12
+        ]
+        if rng is not None and len(best_candidates) > 1:
+            return rng.choice(best_candidates)
+        return best_candidates[0]
+
+    # ------------------------------------------------------------------
+    # Introspection / persistence
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """A copy of the full Q-value matrix."""
+        return self._values.copy()
+
+    def update_counts(self) -> np.ndarray:
+        """Number of updates applied to every entry."""
+        return self._updates.copy()
+
+    def visited_states(self) -> List[int]:
+        """Indices of states that have received at least one update."""
+        return [int(index) for index in np.flatnonzero(self._updates.sum(axis=1))]
+
+    def coverage(self) -> float:
+        """Fraction of states visited at least once."""
+        return len(self.visited_states()) / self.num_states
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise the table (e.g. to persist a trained model)."""
+        return {
+            "num_states": self.num_states,
+            "values": self._values.tolist(),
+            "updates": self._updates.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "QTable":
+        """Restore a table serialised with :meth:`to_dict`."""
+        table = cls(num_states=int(payload["num_states"]))
+        values = np.asarray(payload["values"], dtype=float)
+        updates = np.asarray(payload["updates"], dtype=np.int64)
+        if values.shape != table._values.shape:
+            raise PolicyError("serialised Q-table has the wrong shape")
+        table._values = values
+        table._updates = updates
+        return table
+
+    def reset(self, initial_value: float = 0.0) -> None:
+        """Reset all entries (the paper initialises the table to zero)."""
+        self._values.fill(float(initial_value))
+        self._updates.fill(0)

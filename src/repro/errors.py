@@ -1,0 +1,36 @@
+"""Exception hierarchy for the Cohmeleon reproduction library.
+
+All errors raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch a single base class at API
+boundaries without masking programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A SoC, accelerator, or workload configuration is invalid."""
+
+
+class AllocationError(ReproError):
+    """The address-space allocator could not satisfy a buffer request."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class CoherenceError(ReproError):
+    """A coherence mode was requested that the platform does not support."""
+
+
+class PolicyError(ReproError):
+    """A coherence-selection policy was misused or misconfigured."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was given inconsistent parameters."""

@@ -1,0 +1,240 @@
+"""Shared infrastructure for the experiment harnesses.
+
+An :class:`ExperimentSetup` bundles a SoC configuration with the accelerator
+descriptors bound to its tiles; :func:`evaluate_policies` runs the standard
+set of eight coherence policies (the four fixed homogeneous policies, the
+random policy, the profiled fixed-heterogeneous policy, the manually-tuned
+heuristic, and Cohmeleon) on a training/testing application pair, training
+the learning-based policy online exactly as the paper describes: learn on a
+randomly configured instance of the evaluation application with linearly
+decaying epsilon/alpha, freeze, and evaluate on a different instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.accelerators.descriptor import AccessPattern, AcceleratorDescriptor
+from repro.accelerators.library import ACCELERATOR_LIBRARY
+from repro.accelerators.traffic import TrafficGeneratorFactory
+from repro.core.policies import (
+    CoherencePolicy,
+    CohmeleonPolicy,
+    FixedHeterogeneousPolicy,
+    FixedPolicy,
+    ManualPolicy,
+    RandomPolicy,
+)
+from repro.core.reward import DEFAULT_REWARD_WEIGHTS, RewardWeights
+from repro.errors import ExperimentError
+from repro.runtime.api import EspRuntime
+from repro.soc.coherence import CoherenceMode
+from repro.soc.config import SoCConfig, soc_preset
+from repro.soc.soc import Soc
+from repro.utils.rng import SeededRNG
+from repro.workloads.runner import ApplicationResult, run_application
+from repro.workloads.spec import ApplicationSpec
+
+#: The coherence policies compared throughout Section 6, in figure order.
+STANDARD_POLICY_KINDS: Tuple[str, ...] = (
+    "fixed-non-coh-dma",
+    "fixed-llc-coh-dma",
+    "fixed-coh-dma",
+    "fixed-full-coh",
+    "rand",
+    "fixed-hetero",
+    "manual",
+    "cohmeleon",
+)
+
+#: The policy every figure normalises against.
+REFERENCE_POLICY = "fixed-non-coh-dma"
+
+#: Cache-model granularity used by the large experiment sweeps.  Modelling
+#: caches at 256-byte blocks (instead of 64-byte lines) cuts simulation cost
+#: roughly four-fold without changing any relative result, because every
+#: coherence mode is scaled identically.
+EXPERIMENT_LINE_BYTES = 256
+
+
+@dataclass
+class ExperimentSetup:
+    """A SoC configuration plus the accelerators bound to its tiles."""
+
+    name: str
+    soc_config: SoCConfig
+    accelerators: List[AcceleratorDescriptor]
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.accelerators:
+            raise ExperimentError(f"setup {self.name}: no accelerators")
+        if len(self.accelerators) > self.soc_config.num_accelerator_tiles:
+            raise ExperimentError(
+                f"setup {self.name}: {len(self.accelerators)} accelerators do not fit "
+                f"in {self.soc_config.num_accelerator_tiles} tiles"
+            )
+
+    @property
+    def accelerator_names(self) -> List[str]:
+        """Distinct accelerator names available in this setup."""
+        return sorted({descriptor.name for descriptor in self.accelerators})
+
+    def with_config(self, soc_config: SoCConfig) -> "ExperimentSetup":
+        """Return a copy of this setup targeting a different SoC config."""
+        return replace(self, soc_config=soc_config)
+
+
+def build_runtime(
+    setup: ExperimentSetup, policy: CoherencePolicy
+) -> Tuple[Soc, EspRuntime]:
+    """Instantiate a fresh SoC for ``setup`` and bind its accelerators."""
+    soc = Soc(setup.soc_config)
+    runtime = EspRuntime(soc, policy)
+    runtime.bind_library(setup.accelerators)
+    return soc, runtime
+
+
+# ----------------------------------------------------------------------
+# Setup factories
+# ----------------------------------------------------------------------
+
+def motivation_setup(
+    accelerators: Optional[Sequence[AcceleratorDescriptor]] = None,
+    line_bytes: Optional[int] = None,
+) -> ExperimentSetup:
+    """The Section 3 motivation SoC: 32 KB private caches, 2 x 512 KB LLC."""
+    config = soc_preset("Motivation")
+    if line_bytes is not None:
+        config = config.with_line_size(line_bytes)
+    descriptors = list(accelerators) if accelerators is not None else list(ACCELERATOR_LIBRARY)
+    return ExperimentSetup(name="Motivation", soc_config=config, accelerators=descriptors)
+
+
+def traffic_setup(
+    soc_name: str,
+    pattern: Optional[AccessPattern] = None,
+    seed: int = 0,
+    line_bytes: int = EXPERIMENT_LINE_BYTES,
+) -> ExperimentSetup:
+    """A traffic-generator SoC (SoC0-SoC3), optionally pattern-restricted."""
+    config = soc_preset(soc_name).with_line_size(line_bytes)
+    factory = TrafficGeneratorFactory(SeededRNG(seed).spawn("traffic", soc_name, pattern))
+    if pattern is None:
+        accelerators = factory.build_mixed_set(config.num_accelerator_tiles)
+    else:
+        accelerators = factory.build_set(config.num_accelerator_tiles, pattern)
+    label = soc_name if pattern is None else f"{soc_name}-{pattern.value}"
+    return ExperimentSetup(name=label, soc_config=config, accelerators=accelerators, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Policy construction and evaluation
+# ----------------------------------------------------------------------
+
+def make_standard_policies(
+    kinds: Sequence[str],
+    seed: int,
+    fixed_hetero_modes: Optional[Dict[str, CoherenceMode]] = None,
+    reward_weights: RewardWeights = DEFAULT_REWARD_WEIGHTS,
+) -> Dict[str, CoherencePolicy]:
+    """Build the requested policies, in order, keyed by their display name."""
+    policies: Dict[str, CoherencePolicy] = {}
+    for kind in kinds:
+        rng = SeededRNG(seed).spawn("policy", kind)
+        if kind.startswith("fixed-") and kind != "fixed-hetero":
+            mode_label = kind[len("fixed-"):]
+            policies[kind] = FixedPolicy(
+                next(m for m in CoherenceMode if m.value == mode_label)
+            )
+        elif kind == "fixed-hetero":
+            policies[kind] = FixedHeterogeneousPolicy(fixed_hetero_modes or {})
+        elif kind == "rand":
+            policies[kind] = RandomPolicy(rng=rng)
+        elif kind == "manual":
+            policies[kind] = ManualPolicy()
+        elif kind == "cohmeleon":
+            policies[kind] = CohmeleonPolicy(weights=reward_weights, rng=rng)
+        else:
+            raise ExperimentError(f"unknown policy kind {kind!r}")
+    return policies
+
+
+@dataclass
+class PolicyEvaluation:
+    """Result of evaluating one policy on the test application."""
+
+    policy_name: str
+    result: ApplicationResult
+    training_results: List[ApplicationResult] = field(default_factory=list)
+
+    @property
+    def per_phase_exec(self) -> Dict[str, float]:
+        """Execution cycles of each test-application phase."""
+        return {phase.name: phase.execution_cycles for phase in self.result.phases}
+
+    @property
+    def per_phase_ddr(self) -> Dict[str, float]:
+        """Off-chip accesses of each test-application phase."""
+        return {phase.name: float(phase.ddr_accesses) for phase in self.result.phases}
+
+
+def train_policy(
+    setup: ExperimentSetup,
+    policy: CohmeleonPolicy,
+    training_app: ApplicationSpec,
+    iterations: int,
+    evaluation_hook: Optional[Callable[[int, CohmeleonPolicy], None]] = None,
+) -> List[ApplicationResult]:
+    """Train a Cohmeleon policy online for ``iterations`` application runs.
+
+    Epsilon and alpha decay linearly to zero over the training iterations,
+    as in the paper.  ``evaluation_hook`` (used by the Figure 8 study) is
+    called after every iteration with the iteration index and the policy.
+    """
+    if iterations <= 0:
+        return []
+    soc, runtime = build_runtime(setup, policy)
+    results: List[ApplicationResult] = []
+    for iteration in range(iterations):
+        policy.set_training_progress(iteration / iterations)
+        results.append(run_application(soc, runtime, training_app))
+        if evaluation_hook is not None:
+            evaluation_hook(iteration, policy)
+    return results
+
+
+def evaluate_policy(
+    setup: ExperimentSetup,
+    policy: CoherencePolicy,
+    test_app: ApplicationSpec,
+) -> ApplicationResult:
+    """Run ``test_app`` once under ``policy`` on a fresh SoC."""
+    soc, runtime = build_runtime(setup, policy)
+    return run_application(soc, runtime, test_app)
+
+
+def evaluate_policies(
+    setup: ExperimentSetup,
+    policies: Dict[str, CoherencePolicy],
+    test_app: ApplicationSpec,
+    training_app: Optional[ApplicationSpec] = None,
+    training_iterations: int = 10,
+) -> Dict[str, PolicyEvaluation]:
+    """Evaluate every policy on ``test_app`` (training the learning ones first)."""
+    evaluations: Dict[str, PolicyEvaluation] = {}
+    for name, policy in policies.items():
+        training_results: List[ApplicationResult] = []
+        if isinstance(policy, CohmeleonPolicy):
+            if training_app is not None and training_iterations > 0:
+                training_results = train_policy(
+                    setup, policy, training_app, training_iterations
+                )
+            policy.freeze()
+            policy.clear_history()
+        result = evaluate_policy(setup, policy, test_app)
+        evaluations[name] = PolicyEvaluation(
+            policy_name=name, result=result, training_results=training_results
+        )
+    return evaluations

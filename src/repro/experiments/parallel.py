@@ -1,0 +1,175 @@
+"""Figure 3 — performance degradation with parallel accelerators.
+
+The paper builds a 12-accelerator SoC with three instances each of FFT,
+Night-vision, Sort, and SPMV, gives every accelerator a medium (256 KB)
+workload, and runs 1, 4, 8, and 12 accelerators concurrently under each of
+the four coherence modes.  Every accelerator is invoked several times in a
+row from its own thread; per-invocation performance is normalised to the
+single-accelerator non-coherent-DMA case and averaged over the four
+accelerator types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.accelerators.library import accelerator_by_name
+from repro.core.policies import FixedPolicy
+from repro.errors import ExperimentError
+from repro.experiments.common import ExperimentSetup, build_runtime, motivation_setup
+from repro.soc.coherence import COHERENCE_MODES, CoherenceMode
+from repro.units import KB
+from repro.utils.stats import mean
+from repro.workloads.runner import run_application
+from repro.workloads.spec import ApplicationSpec, PhaseSpec, ThreadSpec
+
+#: The accelerator mix of the Figure 3 SoC: three instances of each type.
+PARALLEL_ACCELERATOR_TYPES = ("FFT", "Night-vision", "Sort", "SPMV")
+
+#: Concurrency levels evaluated by the paper.
+PARALLEL_COUNTS = (1, 4, 8, 12)
+
+#: Medium workload size used for every accelerator.
+PARALLEL_FOOTPRINT_BYTES = 256 * KB
+
+
+@dataclass(frozen=True)
+class ParallelMeasurement:
+    """Average per-invocation performance at one (mode, concurrency) point."""
+
+    mode: CoherenceMode
+    active_accelerators: int
+    exec_cycles: float
+    ddr_accesses: float
+
+
+def parallel_setup(line_bytes: Optional[int] = None) -> ExperimentSetup:
+    """The Figure 3 SoC: 12 accelerators, three instances of each type."""
+    accelerators = [
+        accelerator_by_name(name)
+        for name in PARALLEL_ACCELERATOR_TYPES
+        for _ in range(3)
+    ]
+    setup = motivation_setup(accelerators=accelerators, line_bytes=line_bytes)
+    return ExperimentSetup(
+        name="Parallel", soc_config=setup.soc_config, accelerators=accelerators
+    )
+
+
+def _select_instances(count: int) -> List[str]:
+    """Choose which accelerator instances are active at a concurrency level.
+
+    Instances are spread across the four types round-robin, so 4 active
+    accelerators means one of each type and 12 means all three of each.
+    """
+    if count <= 0 or count > 12:
+        raise ExperimentError("active accelerator count must be in [1, 12]")
+    names: List[str] = []
+    for instance in range(3):
+        for type_name in PARALLEL_ACCELERATOR_TYPES:
+            names.append(type_name)
+    return names[:count]
+
+
+def _parallel_app(count: int, footprint: int, invocations_per_thread: int) -> ApplicationSpec:
+    threads = tuple(
+        ThreadSpec(
+            thread_id=f"par-{index}",
+            accelerator_chain=(name,),
+            footprint_bytes=footprint,
+            loop_count=invocations_per_thread,
+            cpu_index=index % 2,
+        )
+        for index, name in enumerate(_select_instances(count))
+    )
+    phase = PhaseSpec(name=f"parallel-{count}", threads=threads)
+    return ApplicationSpec(name=f"parallel-{count}", phases=(phase,))
+
+
+def run_parallel_experiment(
+    setup: Optional[ExperimentSetup] = None,
+    counts: Sequence[int] = PARALLEL_COUNTS,
+    modes: Sequence[CoherenceMode] = COHERENCE_MODES,
+    footprint_bytes: int = PARALLEL_FOOTPRINT_BYTES,
+    invocations_per_thread: int = 4,
+) -> List[ParallelMeasurement]:
+    """Run the Figure 3 sweep and return raw per-point measurements."""
+    setup = setup if setup is not None else parallel_setup()
+    measurements: List[ParallelMeasurement] = []
+    for mode in modes:
+        for count in counts:
+            soc, runtime = build_runtime(setup, FixedPolicy(mode))
+            app = _parallel_app(count, footprint_bytes, invocations_per_thread)
+            result = run_application(soc, runtime, app)
+
+            # Average per-invocation performance per accelerator type, then
+            # across types — the paper's aggregation.
+            per_type_exec: Dict[str, List[float]] = {}
+            per_type_ddr: Dict[str, List[float]] = {}
+            for invocation in result.invocations:
+                per_type_exec.setdefault(invocation.accelerator_name, []).append(
+                    invocation.total_cycles
+                )
+                per_type_ddr.setdefault(invocation.accelerator_name, []).append(
+                    invocation.ddr_accesses
+                )
+            measurements.append(
+                ParallelMeasurement(
+                    mode=mode,
+                    active_accelerators=count,
+                    exec_cycles=mean([mean(v) for v in per_type_exec.values()]),
+                    ddr_accesses=mean([mean(v) for v in per_type_ddr.values()]),
+                )
+            )
+    return measurements
+
+
+def normalize_parallel(
+    measurements: Sequence[ParallelMeasurement],
+    reference_mode: CoherenceMode = CoherenceMode.NON_COH_DMA,
+) -> Dict[int, Dict[str, Dict[str, float]]]:
+    """Normalise to the single-accelerator run of ``reference_mode``.
+
+    Returns ``{count: {mode_label: {"exec": x, "mem": y}}}`` matching the
+    bars of Figure 3.
+    """
+    reference = next(
+        (
+            m
+            for m in measurements
+            if m.mode is reference_mode and m.active_accelerators == 1
+        ),
+        None,
+    )
+    if reference is None:
+        raise ExperimentError("missing single-accelerator reference measurement")
+    ref_exec = max(reference.exec_cycles, 1e-9)
+    ref_mem = max(reference.ddr_accesses, 1e-9)
+
+    table: Dict[int, Dict[str, Dict[str, float]]] = {}
+    for measurement in measurements:
+        row = table.setdefault(measurement.active_accelerators, {})
+        row[measurement.mode.label] = {
+            "exec": measurement.exec_cycles / ref_exec,
+            "mem": measurement.ddr_accesses / ref_mem,
+        }
+    return table
+
+
+def degradation_summary(
+    measurements: Sequence[ParallelMeasurement],
+) -> Mapping[str, float]:
+    """Slowdown of each mode from 1 to the maximum concurrency level."""
+    by_mode: Dict[CoherenceMode, Dict[int, float]] = {}
+    for measurement in measurements:
+        by_mode.setdefault(measurement.mode, {})[measurement.active_accelerators] = (
+            measurement.exec_cycles
+        )
+    summary: Dict[str, float] = {}
+    for mode, series in by_mode.items():
+        low = series.get(min(series))
+        high = series.get(max(series))
+        if low and high:
+            summary[mode.label] = high / low
+    return summary

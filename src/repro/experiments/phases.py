@@ -1,0 +1,164 @@
+"""Figure 5 — phase analysis of the evaluation application on SoC0.
+
+Four phases of the evaluation application, chosen to differ in thread count
+and workload size (6 threads with Large workloads, 3 threads with Variable
+workloads, 10 threads with Small workloads, and 4 threads with Medium
+workloads), run under all eight coherence policies.  Per phase, execution
+time and off-chip memory accesses are normalised to the fixed
+non-coherent-DMA policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.common import (
+    REFERENCE_POLICY,
+    STANDARD_POLICY_KINDS,
+    ExperimentSetup,
+    PolicyEvaluation,
+    evaluate_policies,
+    make_standard_policies,
+    traffic_setup,
+)
+from repro.experiments.isolation import fixed_hetero_modes
+from repro.utils.rng import SeededRNG
+from repro.workloads.generator import ApplicationGenerator, GeneratorConfig
+from repro.workloads.sizes import WorkloadSizeClass, footprint_for_class
+from repro.workloads.spec import ApplicationSpec, PhaseSpec, ThreadSpec
+
+#: The four phases of Figure 5: (name, thread count, size class or None for
+#: per-thread variable sizes).
+FIGURE5_PHASES = (
+    ("6 Threads: Large", 6, WorkloadSizeClass.LARGE),
+    ("3 Threads: Variable", 3, None),
+    ("10 Threads: Small", 10, WorkloadSizeClass.SMALL),
+    ("4 Threads: Medium", 4, WorkloadSizeClass.MEDIUM),
+)
+
+
+def figure5_application(
+    setup: ExperimentSetup,
+    loops_per_thread: int = 2,
+    chain_length: int = 2,
+    seed: int = 7,
+) -> ApplicationSpec:
+    """Build the four-phase Figure 5 application for ``setup``."""
+    rng = SeededRNG(seed).spawn("fig5", setup.name)
+    accelerator_names = [descriptor.name for descriptor in setup.accelerators]
+    variable_classes = (
+        WorkloadSizeClass.SMALL,
+        WorkloadSizeClass.MEDIUM,
+        WorkloadSizeClass.EXTRA_LARGE,
+    )
+    phases: List[PhaseSpec] = []
+    for phase_name, num_threads, size_class in FIGURE5_PHASES:
+        threads = []
+        for index in range(num_threads):
+            thread_class = size_class or variable_classes[index % len(variable_classes)]
+            footprint = footprint_for_class(thread_class, setup.soc_config, rng=rng)
+            chain = tuple(
+                rng.choice(accelerator_names) for _ in range(chain_length)
+            )
+            threads.append(
+                ThreadSpec(
+                    thread_id=f"{phase_name}-{index}",
+                    accelerator_chain=chain,
+                    footprint_bytes=footprint,
+                    loop_count=loops_per_thread,
+                    cpu_index=index % setup.soc_config.num_cpus,
+                )
+            )
+        phases.append(PhaseSpec(name=phase_name, threads=tuple(threads)))
+    return ApplicationSpec(name=f"figure5-{setup.name}", phases=tuple(phases))
+
+
+def training_application(
+    setup: ExperimentSetup, seed: int = 11, num_phases: int = 5
+) -> ApplicationSpec:
+    """A randomly configured training instance for ``setup``.
+
+    The instance is deliberately diverse — many phases, a wide range of
+    thread counts, and all workload-size classes — so that training visits
+    as much of the state space as possible (the paper's training instances
+    contain several hundred invocations per iteration and are "designed to
+    be as diverse as possible in terms of operating conditions").
+    """
+    generator = ApplicationGenerator(
+        soc_config=setup.soc_config,
+        accelerator_names=[descriptor.name for descriptor in setup.accelerators],
+        generator_config=GeneratorConfig(
+            num_phases=num_phases,
+            min_threads=2,
+            max_threads=min(10, setup.soc_config.num_accelerator_tiles),
+            min_chain_length=1,
+            max_chain_length=3,
+            min_loops=1,
+            max_loops=2,
+        ),
+        seed=seed,
+    )
+    return generator.generate(instance=0)
+
+
+@dataclass
+class PhaseAnalysisResult:
+    """Normalised per-phase results of the Figure 5 experiment."""
+
+    setup_name: str
+    phase_names: List[str]
+    #: ``{phase: {policy: {"exec": x, "mem": y}}}`` normalised to the
+    #: fixed non-coherent-DMA policy.
+    table: Dict[str, Dict[str, Dict[str, float]]]
+    evaluations: Dict[str, PolicyEvaluation]
+
+
+def run_phase_analysis(
+    setup: Optional[ExperimentSetup] = None,
+    policy_kinds: Sequence[str] = STANDARD_POLICY_KINDS,
+    training_iterations: int = 10,
+    loops_per_thread: int = 2,
+    seed: int = 7,
+) -> PhaseAnalysisResult:
+    """Run the Figure 5 experiment and return the normalised table."""
+    setup = setup if setup is not None else traffic_setup("SoC0", seed=seed)
+    test_app = figure5_application(setup, loops_per_thread=loops_per_thread, seed=seed)
+    train_app = training_application(setup, seed=seed + 1)
+
+    hetero_modes = (
+        fixed_hetero_modes(setup) if "fixed-hetero" in policy_kinds else None
+    )
+    policies = make_standard_policies(policy_kinds, seed, fixed_hetero_modes=hetero_modes)
+    evaluations = evaluate_policies(
+        setup,
+        policies,
+        test_app,
+        training_app=train_app,
+        training_iterations=training_iterations,
+    )
+    if REFERENCE_POLICY not in evaluations:
+        raise ExperimentError(
+            f"the reference policy {REFERENCE_POLICY!r} must be part of the sweep"
+        )
+
+    reference = evaluations[REFERENCE_POLICY]
+    table: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for phase in test_app.phases:
+        ref_exec = max(reference.per_phase_exec[phase.name], 1e-9)
+        ref_mem = reference.per_phase_ddr[phase.name]
+        table[phase.name] = {}
+        for name, evaluation in evaluations.items():
+            exec_cycles = evaluation.per_phase_exec[phase.name]
+            mem = evaluation.per_phase_ddr[phase.name]
+            table[phase.name][name] = {
+                "exec": exec_cycles / ref_exec,
+                "mem": (mem / ref_mem) if ref_mem > 0 else (0.0 if mem == 0 else 1.0),
+            }
+    return PhaseAnalysisResult(
+        setup_name=setup.name,
+        phase_names=[phase.name for phase in test_app.phases],
+        table=table,
+        evaluations=evaluations,
+    )

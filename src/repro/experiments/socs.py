@@ -1,0 +1,170 @@
+"""Figure 9 — evaluation across eight SoC configurations.
+
+The experiment repeats the policy comparison on eight platforms: SoC0
+restricted to streaming traffic generators, SoC0 restricted to irregular
+traffic generators, SoC1, SoC2, and SoC3 with mixed traffic generators, and
+the three case-study SoCs (SoC4 mixed accelerators, SoC5 autonomous
+driving, SoC6 computer vision).  Cohmeleon uses the (67.5 %, 7.5 %, 25 %)
+reward function and 10 training iterations, as in the paper.  Per SoC, the
+plotted values are the geometric mean over all phases of execution time and
+off-chip accesses normalised to the fixed non-coherent-DMA policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.accelerators.descriptor import AccessPattern
+from repro.errors import ExperimentError
+from repro.experiments.common import (
+    EXPERIMENT_LINE_BYTES,
+    REFERENCE_POLICY,
+    STANDARD_POLICY_KINDS,
+    ExperimentSetup,
+    PolicyEvaluation,
+    evaluate_policies,
+    make_standard_policies,
+    traffic_setup,
+)
+from repro.experiments.isolation import fixed_hetero_modes
+from repro.soc.config import soc_preset
+from repro.utils.stats import geometric_mean
+from repro.workloads.case_studies import case_study_accelerators, case_study_application
+from repro.workloads.generator import ApplicationGenerator, GeneratorConfig
+from repro.workloads.spec import ApplicationSpec
+
+#: The eight SoC configurations of Figure 9.
+FIGURE9_SOC_LABELS = (
+    "SoC0-Streaming",
+    "SoC0-Irregular",
+    "SoC1",
+    "SoC2",
+    "SoC3",
+    "SoC4",
+    "SoC5",
+    "SoC6",
+)
+
+
+@dataclass
+class SocComparisonPoint:
+    """One (SoC, policy) point of Figure 9."""
+
+    soc_label: str
+    policy_name: str
+    norm_exec: float
+    norm_mem: float
+
+
+@dataclass
+class SocComparisonResult:
+    """All points of Figure 9 plus the raw evaluations."""
+
+    points: List[SocComparisonPoint]
+    evaluations: Dict[str, Dict[str, PolicyEvaluation]]
+
+    def for_soc(self, soc_label: str) -> Dict[str, SocComparisonPoint]:
+        """Points of one SoC keyed by policy name."""
+        return {
+            point.policy_name: point
+            for point in self.points
+            if point.soc_label == soc_label
+        }
+
+    def for_policy(self, policy_name: str) -> Dict[str, SocComparisonPoint]:
+        """Points of one policy keyed by SoC label."""
+        return {
+            point.soc_label: point
+            for point in self.points
+            if point.policy_name == policy_name
+        }
+
+
+def figure9_setup(label: str, seed: int = 0) -> ExperimentSetup:
+    """Build the experiment setup for one Figure 9 SoC label."""
+    if label == "SoC0-Streaming":
+        return traffic_setup("SoC0", pattern=AccessPattern.STREAMING, seed=seed)
+    if label == "SoC0-Irregular":
+        return traffic_setup("SoC0", pattern=AccessPattern.IRREGULAR, seed=seed)
+    if label in ("SoC1", "SoC2", "SoC3"):
+        return traffic_setup(label, seed=seed)
+    if label in ("SoC4", "SoC5", "SoC6"):
+        config = soc_preset(label).with_line_size(EXPERIMENT_LINE_BYTES)
+        return ExperimentSetup(
+            name=label,
+            soc_config=config,
+            accelerators=case_study_accelerators(label),
+            seed=seed,
+        )
+    raise ExperimentError(f"unknown Figure 9 SoC label {label!r}")
+
+
+def figure9_applications(
+    label: str, setup: ExperimentSetup, seed: int = 0
+) -> tuple:
+    """Return the (training, testing) application pair for one SoC label."""
+    if label in ("SoC4", "SoC5", "SoC6"):
+        return case_study_application(label, instance=0), case_study_application(label, instance=1)
+    generator = ApplicationGenerator(
+        soc_config=setup.soc_config,
+        accelerator_names=[descriptor.name for descriptor in setup.accelerators],
+        generator_config=GeneratorConfig(num_phases=3, min_threads=2, max_threads=6),
+        seed=seed + 41,
+    )
+    return generator.generate_pair()
+
+
+def _geomean_normalised(values: Dict[str, float], reference: Dict[str, float]) -> float:
+    ratios = []
+    for name, reference_value in reference.items():
+        value = values.get(name, 0.0)
+        if reference_value > 0:
+            ratios.append(value / reference_value)
+        elif value == 0:
+            ratios.append(1.0)
+    return geometric_mean(ratios) if ratios else 0.0
+
+
+def run_soc_comparison(
+    labels: Sequence[str] = FIGURE9_SOC_LABELS,
+    policy_kinds: Sequence[str] = STANDARD_POLICY_KINDS,
+    training_iterations: int = 10,
+    seed: int = 29,
+) -> SocComparisonResult:
+    """Run the Figure 9 sweep over SoC configurations."""
+    points: List[SocComparisonPoint] = []
+    evaluations_per_soc: Dict[str, Dict[str, PolicyEvaluation]] = {}
+    for label in labels:
+        setup = figure9_setup(label, seed=seed)
+        train_app, test_app = figure9_applications(label, setup, seed=seed)
+        hetero = fixed_hetero_modes(setup) if "fixed-hetero" in policy_kinds else None
+        policies = make_standard_policies(policy_kinds, seed, fixed_hetero_modes=hetero)
+        evaluations = evaluate_policies(
+            setup,
+            policies,
+            test_app,
+            training_app=train_app,
+            training_iterations=training_iterations,
+        )
+        evaluations_per_soc[label] = evaluations
+        reference = evaluations[REFERENCE_POLICY]
+        for policy_name, evaluation in evaluations.items():
+            points.append(
+                SocComparisonPoint(
+                    soc_label=label,
+                    policy_name=policy_name,
+                    norm_exec=_geomean_normalised(
+                        evaluation.per_phase_exec, reference.per_phase_exec
+                    ),
+                    norm_mem=_geomean_normalised(
+                        evaluation.per_phase_ddr, reference.per_phase_ddr
+                    ),
+                )
+            )
+    return SocComparisonResult(points=points, evaluations=evaluations_per_soc)
+
+
+def build_case_study_application(label: str, instance: int = 0) -> ApplicationSpec:
+    """Convenience re-export used by the examples and tests."""
+    return case_study_application(label, instance=instance)

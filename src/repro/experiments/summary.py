@@ -1,0 +1,109 @@
+"""Section 6 headline numbers.
+
+The paper's headline claim: "Across all SoC configurations, Cohmeleon gives
+an average speedup of 38 % with a 66 % reduction in off-chip memory
+accesses when compared to the five fixed policies" (the four fixed
+homogeneous policies plus the profiled fixed-heterogeneous policy).  This
+module aggregates a Figure 9 style sweep into those two numbers, plus the
+comparison against the manually-tuned runtime heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.socs import SocComparisonPoint, SocComparisonResult
+from repro.utils.stats import geometric_mean, mean
+
+#: The design-time baselines the headline numbers are computed against.
+FIXED_POLICY_NAMES = (
+    "fixed-non-coh-dma",
+    "fixed-llc-coh-dma",
+    "fixed-coh-dma",
+    "fixed-full-coh",
+    "fixed-hetero",
+)
+
+
+@dataclass
+class HeadlineSummary:
+    """The paper's headline comparison, computed from a SoC sweep."""
+
+    #: Average speedup of Cohmeleon over the fixed policies (0.38 = 38 %).
+    speedup_vs_fixed: float
+    #: Average reduction of off-chip accesses vs the fixed policies.
+    mem_reduction_vs_fixed: float
+    #: Execution-time ratio of Cohmeleon to the manual heuristic (1.0 = match).
+    exec_vs_manual: float
+    #: Off-chip access ratio of Cohmeleon to the manual heuristic.
+    mem_vs_manual: float
+    #: Per-SoC speedups (diagnostics).
+    per_soc_speedup: Dict[str, float]
+    per_soc_mem_reduction: Dict[str, float]
+
+
+def _points_by_policy(
+    points: Iterable[SocComparisonPoint],
+) -> Dict[str, Dict[str, SocComparisonPoint]]:
+    table: Dict[str, Dict[str, SocComparisonPoint]] = {}
+    for point in points:
+        table.setdefault(point.soc_label, {})[point.policy_name] = point
+    return table
+
+
+def summarize_headline(
+    comparison: SocComparisonResult,
+    fixed_policies: Sequence[str] = FIXED_POLICY_NAMES,
+    subject_policy: str = "cohmeleon",
+    manual_policy: str = "manual",
+) -> HeadlineSummary:
+    """Aggregate a Figure 9 sweep into the Section 6 headline numbers."""
+    per_soc = _points_by_policy(comparison.points)
+    if not per_soc:
+        raise ExperimentError("the SoC comparison contains no data points")
+
+    per_soc_speedup: Dict[str, float] = {}
+    per_soc_reduction: Dict[str, float] = {}
+    exec_vs_manual: List[float] = []
+    mem_vs_manual: List[float] = []
+
+    for soc_label, policies in per_soc.items():
+        subject = policies.get(subject_policy)
+        if subject is None:
+            raise ExperimentError(f"no {subject_policy!r} point for {soc_label}")
+        speedups: List[float] = []
+        reductions: List[float] = []
+        for fixed_name in fixed_policies:
+            fixed_point = policies.get(fixed_name)
+            if fixed_point is None:
+                continue
+            if subject.norm_exec > 0:
+                speedups.append(fixed_point.norm_exec / subject.norm_exec)
+            if fixed_point.norm_mem > 0:
+                reductions.append(max(0.0, 1.0 - subject.norm_mem / fixed_point.norm_mem))
+            elif subject.norm_mem == 0:
+                reductions.append(0.0)
+        if speedups:
+            per_soc_speedup[soc_label] = geometric_mean(speedups) - 1.0
+        if reductions:
+            per_soc_reduction[soc_label] = mean(reductions)
+
+        manual_point = policies.get(manual_policy)
+        if manual_point is not None and manual_point.norm_exec > 0:
+            exec_vs_manual.append(subject.norm_exec / manual_point.norm_exec)
+            # Guard against near-zero access counts (a SoC where the manual
+            # policy causes essentially no off-chip traffic would otherwise
+            # dominate the ratio).
+            if manual_point.norm_mem > 0.01:
+                mem_vs_manual.append(subject.norm_mem / manual_point.norm_mem)
+
+    return HeadlineSummary(
+        speedup_vs_fixed=mean(list(per_soc_speedup.values())),
+        mem_reduction_vs_fixed=mean(list(per_soc_reduction.values())),
+        exec_vs_manual=geometric_mean(exec_vs_manual) if exec_vs_manual else 0.0,
+        mem_vs_manual=geometric_mean(mem_vs_manual) if mem_vs_manual else 0.0,
+        per_soc_speedup=per_soc_speedup,
+        per_soc_mem_reduction=per_soc_reduction,
+    )

@@ -1,0 +1,23 @@
+"""ESP-like accelerator invocation runtime.
+
+This package models the software layer the paper adds to the ESP
+accelerator-invocation API: the introspective tracking of SoC status
+("sense"), the coherence decision hook ("decide"), the actuation of the
+chosen mode including any required software cache flushes ("actuate"), and
+the performance evaluation based on the hardware monitors ("evaluate"),
+including the footprint-proportional attribution of shared DRAM counters
+to individual accelerators.
+"""
+
+from repro.runtime.api import AcceleratorBinding, EspRuntime
+from repro.runtime.attribution import attribute_ddr_accesses
+from repro.runtime.status import ActiveInvocation, SystemSnapshot, SystemStatus
+
+__all__ = [
+    "EspRuntime",
+    "AcceleratorBinding",
+    "attribute_ddr_accesses",
+    "SystemStatus",
+    "SystemSnapshot",
+    "ActiveInvocation",
+]

@@ -1,0 +1,59 @@
+"""Attribution of shared DRAM counters to individual accelerators.
+
+When several accelerators are in flight, the per-memory-tile DRAM counters
+measure their combined traffic.  The paper deliberately avoids extra
+hardware for exact per-accelerator tracking and instead approximates the
+share of accelerator ``k`` at controller ``m`` as::
+
+    ddr(k, m) = ddr_total(m) * footprint(k, m) / sum_acc footprint(acc, m)
+
+where ``ddr_total(m)`` is the observed change of controller ``m``'s counter
+during the invocation and the sum runs over all accelerators active at that
+controller (including ``k``).  This module implements that formula.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+
+def attribute_ddr_accesses(
+    ddr_delta_per_tile: Mapping[int, int],
+    target_footprint_per_tile: Mapping[int, int],
+    active_footprint_per_tile: Mapping[int, int],
+) -> float:
+    """Return the off-chip accesses attributed to the target accelerator.
+
+    Parameters
+    ----------
+    ddr_delta_per_tile:
+        Change of each DRAM controller's access counter during the
+        invocation.
+    target_footprint_per_tile:
+        Bytes of the target accelerator's data mapped to each controller.
+    active_footprint_per_tile:
+        Total bytes of *all* active accelerators' data (including the
+        target's) mapped to each controller at evaluation time.
+    """
+    attributed = 0.0
+    for mem_tile, delta in ddr_delta_per_tile.items():
+        if delta <= 0:
+            continue
+        target_bytes = float(target_footprint_per_tile.get(mem_tile, 0))
+        if target_bytes <= 0.0:
+            continue
+        total_bytes = float(active_footprint_per_tile.get(mem_tile, 0))
+        share = 1.0 if total_bytes <= target_bytes else target_bytes / total_bytes
+        attributed += delta * share
+    return attributed
+
+
+def combine_footprints(
+    *footprints: Mapping[int, int],
+) -> Dict[int, int]:
+    """Sum several per-tile footprint mappings into one."""
+    combined: Dict[int, int] = {}
+    for footprint in footprints:
+        for mem_tile, nbytes in footprint.items():
+            combined[mem_tile] = combined.get(mem_tile, 0) + nbytes
+    return combined

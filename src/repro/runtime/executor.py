@@ -1,0 +1,183 @@
+"""Execution of one accelerator invocation on the SoC model.
+
+The executor turns an :class:`repro.accelerators.invocation.InvocationRequest`
+plus a chosen coherence mode into a discrete-event process: the accelerator
+alternates DMA transfers (reads of its input stream, writes of its output
+stream) with computation, overlapping communication and computation the way
+the pipelined ESP accelerators do.  The DMA transfers are resolved by the
+coherence-mode datapath, so the executor itself is mode-agnostic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Tuple
+
+from repro.accelerators.descriptor import AcceleratorDescriptor
+from repro.accelerators.invocation import InvocationRequest
+from repro.sim.engine import ResumeAt
+from repro.soc.address import Buffer, BufferSegment
+from repro.soc.cache import SetAssociativeCache
+from repro.soc.coherence import CoherenceMode
+from repro.soc.datapath import TransferStats
+
+
+@dataclass
+class ExecutionRecord:
+    """Raw outcome of the accelerator-active phase of one invocation."""
+
+    accelerator_cycles: float
+    comm_cycles: float
+    compute_cycles: float
+    stats: TransferStats = field(default_factory=TransferStats)
+
+
+def _stream_windows(total_bytes: int, iterations: int) -> List[Tuple[int, int]]:
+    """Split a virtual stream of ``total_bytes`` into per-iteration windows."""
+    windows: List[Tuple[int, int]] = []
+    for index in range(iterations):
+        start = round(index * total_bytes / iterations)
+        end = round((index + 1) * total_bytes / iterations)
+        if end > start:
+            windows.append((start, end - start))
+        else:
+            windows.append((start, 0))
+    return windows
+
+
+def _wrap_region(offset: int, nbytes: int, region_bytes: int) -> List[Tuple[int, int]]:
+    """Map a window of a virtual (repeating) stream onto a finite region.
+
+    Re-reading the input several times is modelled as the virtual stream
+    wrapping around the input region, so a window may straddle the wrap
+    point and be split into up to two pieces.
+    """
+    if nbytes <= 0 or region_bytes <= 0:
+        return []
+    pieces: List[Tuple[int, int]] = []
+    remaining = nbytes
+    cursor = offset % region_bytes
+    while remaining > 0:
+        take = min(remaining, region_bytes - cursor)
+        pieces.append((cursor, take))
+        remaining -= take
+        cursor = 0
+    return pieces
+
+
+class InvocationExecutor:
+    """Runs the accelerator-active phase of invocations on the SoC model."""
+
+    #: Upper bound on the number of simulated communicate/compute iterations
+    #: per invocation.  Larger workloads group several DMA bursts into one
+    #: iteration; the per-burst overheads are still charged by the datapath
+    #: because they are derived from the transfer size and burst length.
+    MAX_ITERATIONS = 128
+
+    def __init__(self, soc: "Soc") -> None:  # noqa: F821 - forward reference
+        self.soc = soc
+
+    # ------------------------------------------------------------------
+    def execute(
+        self, request: InvocationRequest, mode: CoherenceMode
+    ) -> Generator[object, float, ExecutionRecord]:
+        """Generator process for the accelerator-active phase.
+
+        Yields simulation delays / resume points and finally *returns* an
+        :class:`ExecutionRecord` (retrieved by the caller via ``yield from``).
+        """
+        engine = self.soc.engine
+        descriptor = request.accelerator
+        footprint = request.footprint_bytes
+        buffer = request.buffer
+
+        private_cache: Optional[SetAssociativeCache] = None
+        if mode is CoherenceMode.FULL_COH:
+            private_cache = self.soc.private_cache_of(request.tile_name)
+
+        read_total = descriptor.read_bytes(footprint)
+        write_total = descriptor.write_bytes(footprint)
+        compute_total = descriptor.compute_cycles(footprint)
+
+        input_bytes = min(descriptor.input_bytes(footprint), footprint)
+        output_bytes = min(descriptor.output_bytes(footprint), footprint)
+        read_region = max(int(input_bytes * descriptor.touched_fraction()), 1)
+        write_region = max(int(output_bytes * descriptor.touched_fraction()), 1)
+        write_offset = 0 if descriptor.in_place else footprint - output_bytes
+        write_region = min(write_region, footprint - write_offset)
+        write_region = max(write_region, 1)
+
+        total_bursts = max(
+            1, math.ceil((read_total + write_total) / descriptor.burst_bytes)
+        )
+        iterations = max(1, min(self.MAX_ITERATIONS, total_bursts))
+        read_windows = _stream_windows(read_total, iterations)
+        write_windows = _stream_windows(write_total, iterations)
+        compute_chunk = compute_total / iterations
+
+        comm_cycles = 0.0
+        stats = TransferStats()
+        start_time = engine.now
+
+        for index in range(iterations):
+            iteration_start = engine.now
+            finish = iteration_start
+
+            read_offset, read_bytes = read_windows[index]
+            cursor = finish
+            for piece_offset, piece_bytes in _wrap_region(read_offset, read_bytes, read_region):
+                segments = self._segments(buffer, piece_offset, piece_bytes)
+                cursor, piece_stats = self.soc.datapath.dma_read(
+                    cursor,
+                    request.tile_name,
+                    segments,
+                    mode,
+                    descriptor.burst_bytes,
+                    private_cache,
+                )
+                stats.merge(piece_stats)
+            finish = max(finish, cursor)
+
+            write_virtual_offset, write_bytes = write_windows[index]
+            cursor = finish
+            for piece_offset, piece_bytes in _wrap_region(
+                write_virtual_offset, write_bytes, write_region
+            ):
+                segments = self._segments(buffer, write_offset + piece_offset, piece_bytes)
+                cursor, piece_stats = self.soc.datapath.dma_write(
+                    cursor,
+                    request.tile_name,
+                    segments,
+                    mode,
+                    descriptor.burst_bytes,
+                    private_cache,
+                )
+                stats.merge(piece_stats)
+            finish = max(finish, cursor)
+
+            comm_time = finish - iteration_start
+            comm_cycles += comm_time
+            # Communication and computation overlap within an iteration:
+            # the iteration takes as long as the slower of the two.
+            duration = max(comm_time, compute_chunk)
+            yield ResumeAt(iteration_start + duration)
+
+        accelerator_cycles = engine.now - start_time
+        return ExecutionRecord(
+            accelerator_cycles=accelerator_cycles,
+            comm_cycles=comm_cycles,
+            compute_cycles=compute_total,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _segments(
+        self, buffer: Buffer, offset: int, nbytes: int
+    ) -> List[BufferSegment]:
+        """Resolve a (clamped) buffer slice into physical segments."""
+        if nbytes <= 0:
+            return []
+        offset = max(0, min(offset, buffer.size - 1))
+        nbytes = min(nbytes, buffer.size - offset)
+        return buffer.slice(offset, nbytes)

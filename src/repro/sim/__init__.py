@@ -1,0 +1,13 @@
+"""A small discrete-event simulation kernel.
+
+The SoC performance model executes accelerator invocations as cooperating
+processes on a shared clock.  Processes are plain Python generators that
+yield either a delay in cycles or an absolute resume time; shared hardware
+resources (DRAM channels, LLC ports, NoC links) are modelled with FCFS
+bandwidth servers that translate a transfer request into a completion time.
+"""
+
+from repro.sim.engine import Engine, Process
+from repro.sim.resources import BandwidthResource, ResourceStats
+
+__all__ = ["Engine", "Process", "BandwidthResource", "ResourceStats"]

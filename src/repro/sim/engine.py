@@ -1,0 +1,181 @@
+"""Generator-based discrete-event engine.
+
+A *process* is a Python generator.  Each time it yields, it hands control
+back to the engine together with either:
+
+* a non-negative number — "resume me after this many cycles", or
+* a :class:`ResumeAt` object — "resume me at this absolute time".
+
+The engine keeps a priority queue of ``(time, sequence, process)`` entries
+and always advances the process with the earliest resume time.  When a
+generator returns (raises ``StopIteration``) its process is marked finished
+and an optional completion callback fires.
+
+This is intentionally much smaller than simpy: the SoC model only needs
+time-ordered interleaving of invocation processes, because contention on
+shared hardware is resolved analytically by the FCFS resources in
+:mod:`repro.sim.resources`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Generator, List, Optional
+
+from repro.errors import SimulationError
+
+#: Type alias for the generator objects the engine runs.
+ProcessGenerator = Generator[object, float, None]
+
+
+@dataclass(frozen=True)
+class ResumeAt:
+    """Yield value meaning "resume this process at absolute time ``time``"."""
+
+    time: float
+
+
+@dataclass
+class Process:
+    """Bookkeeping for one running generator."""
+
+    name: str
+    generator: ProcessGenerator = field(repr=False)
+    finished: bool = False
+    start_time: float = 0.0
+    finish_time: Optional[float] = None
+    on_complete: Optional[Callable[["Process"], None]] = field(default=None, repr=False)
+
+
+class Engine:
+    """Discrete-event engine with a cycle-based clock.
+
+    Example
+    -------
+    >>> engine = Engine()
+    >>> log = []
+    >>> def worker(tag, delay):
+    ...     yield delay
+    ...     log.append((tag, engine.now))
+    >>> _ = engine.spawn("a", worker("a", 10))
+    >>> _ = engine.spawn("b", worker("b", 5))
+    >>> engine.run()
+    >>> log
+    [('b', 5.0), ('a', 10.0)]
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[tuple] = []
+        self._sequence = itertools.count()
+        self._processes: List[Process] = []
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Process management
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        name: str,
+        generator: ProcessGenerator,
+        start_delay: float = 0.0,
+        on_complete: Optional[Callable[[Process], None]] = None,
+    ) -> Process:
+        """Register ``generator`` as a process starting after ``start_delay``."""
+        if start_delay < 0:
+            raise SimulationError(f"negative start delay {start_delay} for {name}")
+        process = Process(
+            name=name,
+            generator=generator,
+            start_time=self.now + start_delay,
+            on_complete=on_complete,
+        )
+        self._processes.append(process)
+        self._push(self.now + start_delay, process, first=True)
+        return process
+
+    def _push(self, time: float, process: Process, first: bool = False) -> None:
+        heapq.heappush(self._queue, (time, next(self._sequence), process, first))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Run until no events remain (or ``until`` / ``max_events`` is hit).
+
+        Returns the simulation time at which execution stopped.
+        """
+        while self._queue:
+            time, _seq, process, first = heapq.heappop(self._queue)
+            if until is not None and time > until:
+                # Put the event back so a later run() call can continue.
+                self._push(time, process, first)
+                self.now = until
+                return self.now
+            if time < self.now - 1e-9:
+                raise SimulationError(
+                    f"event time {time} precedes current time {self.now}"
+                )
+            self.now = max(self.now, time)
+            self._events_processed += 1
+            if self._events_processed > max_events:
+                raise SimulationError("event budget exhausted; likely a livelock")
+            self._step(process, first)
+        return self.now
+
+    def _step(self, process: Process, first: bool) -> None:
+        try:
+            if first:
+                yielded = next(process.generator)
+            else:
+                yielded = process.generator.send(self.now)
+        except StopIteration:
+            process.finished = True
+            process.finish_time = self.now
+            if process.on_complete is not None:
+                process.on_complete(process)
+            return
+        resume_time = self._resolve_yield(yielded)
+        self._push(resume_time, process, first=False)
+
+    def _resolve_yield(self, yielded: object) -> float:
+        if isinstance(yielded, ResumeAt):
+            target = float(yielded.time)
+            if target < self.now - 1e-9:
+                raise SimulationError(
+                    f"process asked to resume in the past ({target} < {self.now})"
+                )
+            return max(target, self.now)
+        if isinstance(yielded, (int, float)):
+            delay = float(yielded)
+            if delay < 0:
+                raise SimulationError(f"process yielded a negative delay {delay}")
+            return self.now + delay
+        raise SimulationError(
+            f"process yielded unsupported value {yielded!r}; "
+            "yield a delay in cycles or a ResumeAt"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def processes(self) -> List[Process]:
+        """All processes ever spawned on this engine."""
+        return list(self._processes)
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently queued."""
+        return len(self._queue)
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events processed since construction."""
+        return self._events_processed
+
+    def all_finished(self) -> bool:
+        """Return ``True`` when every spawned process has completed."""
+        return all(process.finished for process in self._processes)

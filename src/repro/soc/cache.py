@@ -1,0 +1,343 @@
+"""Set-associative cache model with LRU replacement and dirty tracking.
+
+The model operates at cache-line granularity.  It supports the operations
+the coherence-mode data paths need:
+
+* ``access_range`` — read or write a byte range, reporting hits, misses,
+  and the dirty lines evicted by the fills (which become write-back traffic
+  towards the next level);
+* ``install_range`` — warm the cache with data without reporting traffic
+  (used to model the CPU having initialised accelerator inputs before the
+  invocation, so that the data is "warm" as in the paper's Section 3);
+* ``flush_all`` / ``flush_range`` — software flush, returning how many
+  lines had to be written back and how many were simply invalidated;
+* ``invalidate_line`` / ``recall_line`` — directory-initiated removal of a
+  single line, used by the coherent-DMA recall mechanism.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class CacheStats:
+    """Cumulative counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    writebacks: int = 0
+    flush_writebacks: int = 0
+    flush_invalidations: int = 0
+    recalls: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the counters as a plain dictionary."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "dirty_evictions": self.dirty_evictions,
+            "writebacks": self.writebacks,
+            "flush_writebacks": self.flush_writebacks,
+            "flush_invalidations": self.flush_invalidations,
+            "recalls": self.recalls,
+        }
+
+    @property
+    def accesses(self) -> int:
+        """Total number of line accesses."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class RangeAccessResult:
+    """Outcome of accessing a byte range through the cache."""
+
+    lines: int = 0
+    hits: int = 0
+    misses: int = 0
+    evicted_dirty: List[int] = field(default_factory=list)
+    evicted_clean: int = 0
+
+    def merge(self, other: "RangeAccessResult") -> None:
+        """Accumulate ``other`` into this result."""
+        self.lines += other.lines
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evicted_dirty.extend(other.evicted_dirty)
+        self.evicted_clean += other.evicted_clean
+
+    @property
+    def writeback_lines(self) -> int:
+        """Number of dirty lines evicted (write-back traffic)."""
+        return len(self.evicted_dirty)
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache tracking valid and dirty lines."""
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        line_bytes: int,
+        ways: int,
+    ) -> None:
+        if size_bytes <= 0 or line_bytes <= 0 or ways <= 0:
+            raise ConfigurationError("cache geometry parameters must be positive")
+        num_lines = size_bytes // line_bytes
+        if num_lines == 0:
+            raise ConfigurationError(
+                f"cache {name!r}: size {size_bytes} smaller than one line"
+            )
+        ways = min(ways, num_lines)
+        if num_lines % ways:
+            # Round the number of sets down so the geometry stays consistent.
+            num_lines = (num_lines // ways) * ways
+        self.name = name
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = max(num_lines // ways, 1)
+        self.stats = CacheStats()
+        # One ordered dict per set: {line_address: dirty}.  The first entry
+        # is the least recently used line.
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr // self.line_bytes) % self.num_sets
+
+    def line_address(self, byte_addr: int) -> int:
+        """Return the aligned line address containing ``byte_addr``."""
+        return (byte_addr // self.line_bytes) * self.line_bytes
+
+    def lines_in_range(self, start: int, nbytes: int) -> range:
+        """Return the line addresses covering ``[start, start + nbytes)``."""
+        if nbytes <= 0:
+            return range(0)
+        first = self.line_address(start)
+        last = self.line_address(start + nbytes - 1)
+        return range(first, last + self.line_bytes, self.line_bytes)
+
+    # ------------------------------------------------------------------
+    # Single-line operations
+    # ------------------------------------------------------------------
+    def access_line(
+        self, line_addr: int, write: bool, allocate: bool = True
+    ) -> Tuple[bool, Optional[int], bool]:
+        """Access one line.
+
+        Returns ``(hit, evicted_line_or_None, evicted_dirty)``.
+        """
+        line_addr = self.line_address(line_addr)
+        cache_set = self._sets[self._set_index(line_addr)]
+        if line_addr in cache_set:
+            self.stats.hits += 1
+            dirty = cache_set.pop(line_addr)
+            cache_set[line_addr] = dirty or write
+            return True, None, False
+
+        self.stats.misses += 1
+        if not allocate:
+            return False, None, False
+        evicted_line: Optional[int] = None
+        evicted_dirty = False
+        if len(cache_set) >= self.ways:
+            evicted_line, evicted_dirty = cache_set.popitem(last=False)
+            self.stats.evictions += 1
+            if evicted_dirty:
+                self.stats.dirty_evictions += 1
+                self.stats.writebacks += 1
+        cache_set[line_addr] = write
+        return False, evicted_line, evicted_dirty
+
+    def contains(self, byte_addr: int) -> bool:
+        """Whether the line containing ``byte_addr`` is present."""
+        line_addr = self.line_address(byte_addr)
+        return line_addr in self._sets[self._set_index(line_addr)]
+
+    def is_dirty(self, byte_addr: int) -> bool:
+        """Whether the line containing ``byte_addr`` is present and dirty."""
+        line_addr = self.line_address(byte_addr)
+        return bool(self._sets[self._set_index(line_addr)].get(line_addr, False))
+
+    def invalidate_line(self, byte_addr: int) -> bool:
+        """Drop the line containing ``byte_addr``; return whether it was dirty."""
+        line_addr = self.line_address(byte_addr)
+        cache_set = self._sets[self._set_index(line_addr)]
+        dirty = cache_set.pop(line_addr, None)
+        return bool(dirty)
+
+    def recall_line(self, byte_addr: int) -> bool:
+        """Directory recall: invalidate the line and count the recall.
+
+        Returns whether the recalled line was dirty (and therefore had to be
+        written back to the LLC).
+        """
+        self.stats.recalls += 1
+        return self.invalidate_line(byte_addr)
+
+    # ------------------------------------------------------------------
+    # Range operations
+    # ------------------------------------------------------------------
+    def access_range(
+        self, start: int, nbytes: int, write: bool, allocate: bool = True
+    ) -> RangeAccessResult:
+        """Access every line in ``[start, start + nbytes)``."""
+        result = RangeAccessResult()
+        for line_addr in self.lines_in_range(start, nbytes):
+            hit, evicted, evicted_dirty = self.access_line(line_addr, write, allocate)
+            result.lines += 1
+            if hit:
+                result.hits += 1
+            else:
+                result.misses += 1
+            if evicted is not None:
+                if evicted_dirty:
+                    result.evicted_dirty.append(evicted)
+                else:
+                    result.evicted_clean += 1
+        return result
+
+    def install_range(self, start: int, nbytes: int, dirty: bool = True) -> int:
+        """Warm the cache with ``[start, start + nbytes)`` without statistics.
+
+        Returns the number of lines installed.  Evictions caused by the
+        warm-up are silently dropped (the corresponding traffic happened
+        before the measured window).
+        """
+        installed = 0
+        for line_addr in self.lines_in_range(start, nbytes):
+            cache_set = self._sets[self._set_index(line_addr)]
+            if line_addr in cache_set:
+                was_dirty = cache_set.pop(line_addr)
+                cache_set[line_addr] = was_dirty or dirty
+            else:
+                if len(cache_set) >= self.ways:
+                    cache_set.popitem(last=False)
+                cache_set[line_addr] = dirty
+            installed += 1
+        return installed
+
+    # ------------------------------------------------------------------
+    # Flushes
+    # ------------------------------------------------------------------
+    def flush_all(self) -> Tuple[int, int]:
+        """Flush the whole cache; return ``(writebacks, invalidations)``."""
+        writebacks = 0
+        invalidations = 0
+        for cache_set in self._sets:
+            for _line, dirty in cache_set.items():
+                invalidations += 1
+                if dirty:
+                    writebacks += 1
+            cache_set.clear()
+        self.stats.flush_writebacks += writebacks
+        self.stats.flush_invalidations += invalidations
+        return writebacks, invalidations
+
+    def flush_range(self, start: int, nbytes: int) -> Tuple[int, int]:
+        """Flush only the given range; return ``(writebacks, invalidations)``."""
+        writebacks = 0
+        invalidations = 0
+        for line_addr in self.lines_in_range(start, nbytes):
+            cache_set = self._sets[self._set_index(line_addr)]
+            dirty = cache_set.pop(line_addr, None)
+            if dirty is None:
+                continue
+            invalidations += 1
+            if dirty:
+                writebacks += 1
+        self.stats.flush_writebacks += writebacks
+        self.stats.flush_invalidations += invalidations
+        return writebacks, invalidations
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def valid_lines(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(cache_set) for cache_set in self._sets)
+
+    def dirty_lines(self) -> int:
+        """Number of dirty lines currently resident."""
+        return sum(sum(1 for dirty in cache_set.values() if dirty) for cache_set in self._sets)
+
+    def occupancy_bytes(self) -> int:
+        """Bytes of valid data currently resident."""
+        return self.valid_lines() * self.line_bytes
+
+    def occupancy_fraction(self) -> float:
+        """Fraction of the cache capacity currently valid."""
+        capacity_lines = self.num_sets * self.ways
+        return self.valid_lines() / capacity_lines if capacity_lines else 0.0
+
+    def resident_lines_in_range(self, start: int, nbytes: int) -> int:
+        """Number of lines of ``[start, start + nbytes)`` currently resident."""
+        count = 0
+        for line_addr in self.lines_in_range(start, nbytes):
+            if line_addr in self._sets[self._set_index(line_addr)]:
+                count += 1
+        return count
+
+    def resident_lines_within(self, start: int, nbytes: int) -> List[int]:
+        """Return resident line addresses falling inside ``[start, start+nbytes)``.
+
+        This walks the (small) cache contents rather than the (potentially
+        huge) address range, which is what the coherent-DMA recall logic
+        needs: it only cares about the few lines a private cache actually
+        holds.
+        """
+        if nbytes <= 0:
+            return []
+        end = start + nbytes
+        resident: List[int] = []
+        for cache_set in self._sets:
+            for line_addr in cache_set:
+                if start - self.line_bytes < line_addr < end:
+                    if line_addr + self.line_bytes > start:
+                        resident.append(line_addr)
+        return resident
+
+    def clear(self) -> None:
+        """Drop all contents and statistics (used between experiments)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+        self.stats = CacheStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SetAssociativeCache(name={self.name!r}, size={self.size_bytes}, "
+            f"line={self.line_bytes}, ways={self.ways}, sets={self.num_sets})"
+        )
+
+
+def flush_cost_cycles(
+    writebacks: int,
+    invalidations: int,
+    flush_base_cycles: float,
+    flush_cycles_per_line: float,
+) -> float:
+    """Cycle cost of a software flush given its outcome.
+
+    The cost model charges a fixed issue cost plus a per-line walk cost for
+    every line touched; write-backs are additionally charged by the caller
+    as DRAM (or LLC) traffic through the normal resources.
+    """
+    touched = max(invalidations, writebacks)
+    return flush_base_cycles + flush_cycles_per_line * touched

@@ -1,0 +1,107 @@
+"""Hardware monitoring system (paper Section 4.3, "Evaluate").
+
+The paper adds a lightweight set of memory-mapped counters to every tile:
+
+* per-memory-tile counters of off-chip (DRAM) accesses;
+* per-accelerator-tile counters of total execution cycles and of the cycles
+  spent communicating with memory (issuing a request or awaiting a
+  response).
+
+Software reads the DRAM counters before and after each accelerator
+invocation to compute the delta, and reads the accelerator counters (which
+are reset when the accelerator starts) at the end of the invocation.  This
+module models those registers; the attribution of shared DRAM counters to
+individual accelerators is performed by :mod:`repro.runtime.attribution`,
+exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.soc.dram import DramController
+
+
+@dataclass
+class AcceleratorCounters:
+    """Cycle counters of one accelerator tile for one invocation."""
+
+    total_cycles: float = 0.0
+    comm_cycles: float = 0.0
+
+    @property
+    def comm_ratio(self) -> float:
+        """Fraction of execution cycles spent communicating with memory."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return min(self.comm_cycles / self.total_cycles, 1.0)
+
+
+@dataclass
+class DdrSnapshot:
+    """A point-in-time reading of every DRAM controller's access counter."""
+
+    per_tile: Dict[int, int] = field(default_factory=dict)
+
+    def delta(self, later: "DdrSnapshot") -> Dict[int, int]:
+        """Per-tile difference ``later - self`` (counter overflow-free here)."""
+        return {
+            tile: later.per_tile.get(tile, 0) - count
+            for tile, count in self.per_tile.items()
+        }
+
+    @property
+    def total(self) -> int:
+        """Total accesses across all controllers."""
+        return sum(self.per_tile.values())
+
+
+class HardwareMonitors:
+    """Access point for all hardware counters of one SoC."""
+
+    def __init__(self, dram_controllers: List[DramController]) -> None:
+        self._dram_controllers = list(dram_controllers)
+        self._accelerator_counters: Dict[str, AcceleratorCounters] = {}
+
+    # ------------------------------------------------------------------
+    # DRAM access counters
+    # ------------------------------------------------------------------
+    def ddr_snapshot(self) -> DdrSnapshot:
+        """Read every DRAM controller's total access counter."""
+        return DdrSnapshot(
+            per_tile={
+                controller.mem_tile: controller.total_accesses
+                for controller in self._dram_controllers
+            }
+        )
+
+    def total_ddr_accesses(self) -> int:
+        """Total off-chip accesses since the SoC was built (or reset)."""
+        return sum(controller.total_accesses for controller in self._dram_controllers)
+
+    # ------------------------------------------------------------------
+    # Accelerator cycle counters
+    # ------------------------------------------------------------------
+    def reset_accelerator(self, tile_name: str) -> None:
+        """Reset the cycle counters of one accelerator tile."""
+        self._accelerator_counters[tile_name] = AcceleratorCounters()
+
+    def add_accelerator_cycles(
+        self, tile_name: str, total_cycles: float, comm_cycles: float
+    ) -> None:
+        """Accumulate cycles into an accelerator tile's counters."""
+        counters = self._accelerator_counters.setdefault(tile_name, AcceleratorCounters())
+        counters.total_cycles += total_cycles
+        counters.comm_cycles += comm_cycles
+
+    def read_accelerator(self, tile_name: str) -> AcceleratorCounters:
+        """Read the cycle counters of one accelerator tile."""
+        return self._accelerator_counters.get(tile_name, AcceleratorCounters())
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Clear every counter (DRAM counters are owned by the controllers)."""
+        self._accelerator_counters.clear()
+        for controller in self._dram_controllers:
+            controller.reset()

@@ -1,0 +1,147 @@
+"""Tile descriptors and floorplanning.
+
+ESP SoCs are grids of tiles of four kinds: processor tiles, accelerator
+tiles, memory tiles, and auxiliary tiles.  This module assigns tiles to
+mesh coordinates with a simple deterministic floorplan: memory tiles at the
+corners (so their links are spread across the mesh), processor tiles along
+the top edge, accelerator tiles filling the remaining positions, and one
+auxiliary tile if a slot is left over.  Exact placement only affects hop
+counts mildly; what matters for the experiments is that different
+accelerators sit at different distances from the memory tiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.soc.config import SoCConfig
+from repro.soc.noc import TileCoordinate
+
+
+class TileType(Enum):
+    """The four ESP tile kinds."""
+
+    CPU = "cpu"
+    ACCELERATOR = "accelerator"
+    MEMORY = "memory"
+    AUXILIARY = "auxiliary"
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One tile of the SoC grid."""
+
+    name: str
+    tile_type: TileType
+    index: int
+    position: TileCoordinate
+    has_private_cache: bool = False
+
+
+def _corner_positions(rows: int, cols: int) -> List[TileCoordinate]:
+    corners = [
+        TileCoordinate(0, 0),
+        TileCoordinate(0, cols - 1),
+        TileCoordinate(rows - 1, 0),
+        TileCoordinate(rows - 1, cols - 1),
+    ]
+    unique: List[TileCoordinate] = []
+    for corner in corners:
+        if corner not in unique:
+            unique.append(corner)
+    return unique
+
+
+def build_floorplan(config: SoCConfig) -> Tuple[List[Tile], Dict[str, Tile]]:
+    """Assign every tile of ``config`` to a mesh position.
+
+    Returns the list of tiles and a name-indexed mapping.
+    """
+    rows, cols = config.noc_rows, config.noc_cols
+    all_positions = [TileCoordinate(r, c) for r in range(rows) for c in range(cols)]
+    taken: Dict[TileCoordinate, str] = {}
+    tiles: List[Tile] = []
+
+    def claim(position: TileCoordinate, name: str) -> TileCoordinate:
+        if position in taken:
+            raise ConfigurationError(
+                f"floorplan conflict at {position}: {taken[position]} vs {name}"
+            )
+        taken[position] = name
+        return position
+
+    def next_free() -> Optional[TileCoordinate]:
+        for position in all_positions:
+            if position not in taken:
+                return position
+        return None
+
+    # Memory tiles at the corners first.
+    corner_slots = _corner_positions(rows, cols)
+    for index in range(config.num_mem_tiles):
+        name = f"mem{index}"
+        if index < len(corner_slots) and corner_slots[index] not in taken:
+            position = claim(corner_slots[index], name)
+        else:
+            slot = next_free()
+            if slot is None:
+                raise ConfigurationError("ran out of mesh slots for memory tiles")
+            position = claim(slot, name)
+        tiles.append(Tile(name=name, tile_type=TileType.MEMORY, index=index, position=position))
+
+    # Processor tiles along the remaining top-edge slots.
+    for index in range(config.num_cpus):
+        name = f"cpu{index}"
+        slot = None
+        for position in all_positions:
+            if position.row == 0 and position not in taken:
+                slot = position
+                break
+        if slot is None:
+            slot = next_free()
+        if slot is None:
+            raise ConfigurationError("ran out of mesh slots for processor tiles")
+        position = claim(slot, name)
+        tiles.append(
+            Tile(
+                name=name,
+                tile_type=TileType.CPU,
+                index=index,
+                position=position,
+                has_private_cache=True,
+            )
+        )
+
+    # Accelerator tiles fill the rest.
+    for index in range(config.num_accelerator_tiles):
+        name = f"acc{index}"
+        slot = next_free()
+        if slot is None:
+            raise ConfigurationError("ran out of mesh slots for accelerator tiles")
+        position = claim(slot, name)
+        tiles.append(
+            Tile(
+                name=name,
+                tile_type=TileType.ACCELERATOR,
+                index=index,
+                position=position,
+                has_private_cache=config.accelerator_has_cache(index),
+            )
+        )
+
+    # One auxiliary tile if room remains (UART / interrupt controller).
+    slot = next_free()
+    if slot is not None:
+        tiles.append(
+            Tile(
+                name="aux0",
+                tile_type=TileType.AUXILIARY,
+                index=0,
+                position=claim(slot, "aux0"),
+            )
+        )
+
+    return tiles, {tile.name: tile for tile in tiles}

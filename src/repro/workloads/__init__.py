@@ -1,0 +1,26 @@
+"""Multithreaded evaluation applications (paper Section 5).
+
+An application consists of *phases*; a phase consists of *threads*; each
+thread owns a dataset and runs a *chain* of accelerators serially over that
+dataset (the output of one accelerator is the input of the next), possibly
+looping over the chain several times.  The harness in
+:mod:`repro.workloads.runner` executes an application on a SoC through the
+ESP-like runtime and records per-phase execution time and off-chip memory
+accesses — the two quantities every evaluation figure reports.
+"""
+
+from repro.workloads.runner import ApplicationResult, PhaseResult, run_application
+from repro.workloads.sizes import WorkloadSizeClass, footprint_for_class, size_class_of
+from repro.workloads.spec import ApplicationSpec, PhaseSpec, ThreadSpec
+
+__all__ = [
+    "ApplicationSpec",
+    "PhaseSpec",
+    "ThreadSpec",
+    "WorkloadSizeClass",
+    "footprint_for_class",
+    "size_class_of",
+    "run_application",
+    "ApplicationResult",
+    "PhaseResult",
+]

@@ -1,0 +1,110 @@
+"""Random evaluation-application generator.
+
+The paper's evaluation applications are "randomly configured instances"
+whose phases vary in the number of threads running in parallel, the
+workload sizes in use, and the configuration of each accelerator.  This
+module generates such instances deterministically from a seed, so that a
+"training instance" and a "testing instance" can be produced from different
+seeds exactly as the paper's methodology requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.soc.config import SoCConfig
+from repro.utils.rng import SeededRNG
+from repro.workloads.sizes import WorkloadSizeClass, footprint_for_class
+from repro.workloads.spec import ApplicationSpec, PhaseSpec, ThreadSpec
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the random application generator."""
+
+    num_phases: int = 4
+    min_threads: int = 2
+    max_threads: int = 8
+    min_chain_length: int = 1
+    max_chain_length: int = 3
+    min_loops: int = 1
+    max_loops: int = 3
+    size_classes: Tuple[WorkloadSizeClass, ...] = (
+        WorkloadSizeClass.SMALL,
+        WorkloadSizeClass.MEDIUM,
+        WorkloadSizeClass.LARGE,
+        WorkloadSizeClass.EXTRA_LARGE,
+    )
+    #: Relative probability of each size class (aligned with ``size_classes``).
+    size_weights: Tuple[float, ...] = (0.3, 0.35, 0.2, 0.15)
+
+    def __post_init__(self) -> None:
+        if self.num_phases <= 0:
+            raise ConfigurationError("num_phases must be positive")
+        if not 0 < self.min_threads <= self.max_threads:
+            raise ConfigurationError("invalid thread-count range")
+        if not 0 < self.min_chain_length <= self.max_chain_length:
+            raise ConfigurationError("invalid chain-length range")
+        if not 0 < self.min_loops <= self.max_loops:
+            raise ConfigurationError("invalid loop-count range")
+        if len(self.size_classes) != len(self.size_weights):
+            raise ConfigurationError("size_classes and size_weights must align")
+
+
+class ApplicationGenerator:
+    """Generates randomly-configured evaluation applications."""
+
+    def __init__(
+        self,
+        soc_config: SoCConfig,
+        accelerator_names: Sequence[str],
+        generator_config: Optional[GeneratorConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        if not accelerator_names:
+            raise ConfigurationError("the generator needs at least one accelerator")
+        self.soc_config = soc_config
+        self.accelerator_names = list(accelerator_names)
+        self.config = generator_config if generator_config is not None else GeneratorConfig()
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def generate(self, instance: int = 0, name: Optional[str] = None) -> ApplicationSpec:
+        """Generate one application instance (different ``instance`` => different app)."""
+        rng = SeededRNG(self.seed).spawn("application", instance)
+        cfg = self.config
+        phases: List[PhaseSpec] = []
+        for phase_index in range(cfg.num_phases):
+            phases.append(self._generate_phase(rng, phase_index))
+        return ApplicationSpec(
+            name=name or f"eval-app-{self.soc_config.name}-{instance}",
+            phases=tuple(phases),
+            metadata={"seed": self.seed, "instance": instance},
+        )
+
+    def _generate_phase(self, rng: SeededRNG, phase_index: int) -> PhaseSpec:
+        cfg = self.config
+        num_threads = rng.randint(cfg.min_threads, cfg.max_threads)
+        threads: List[ThreadSpec] = []
+        for thread_index in range(num_threads):
+            size_class = rng.weighted_choice(list(cfg.size_classes), list(cfg.size_weights))
+            footprint = footprint_for_class(size_class, self.soc_config, rng=rng)
+            chain_length = rng.randint(cfg.min_chain_length, cfg.max_chain_length)
+            chain = tuple(rng.choice(self.accelerator_names) for _ in range(chain_length))
+            threads.append(
+                ThreadSpec(
+                    thread_id=f"p{phase_index}-t{thread_index}",
+                    accelerator_chain=chain,
+                    footprint_bytes=footprint,
+                    loop_count=rng.randint(cfg.min_loops, cfg.max_loops),
+                    cpu_index=thread_index % max(self.soc_config.num_cpus, 1),
+                )
+            )
+        return PhaseSpec(name=f"phase-{phase_index}", threads=tuple(threads))
+
+    # ------------------------------------------------------------------
+    def generate_pair(self) -> Tuple[ApplicationSpec, ApplicationSpec]:
+        """Generate a (training, testing) pair of distinct instances."""
+        return self.generate(instance=0, name=None), self.generate(instance=1, name=None)

@@ -1,0 +1,79 @@
+"""Workload-size classes.
+
+The paper characterises workload sizes relative to the cache hierarchy of
+the target SoC: *Small* fits in the accelerator's private (L2) cache,
+*Medium* fits in one LLC partition, *Large* fits in the aggregate LLC, and
+*Extra-Large* exceeds the LLC.  The motivation experiments of Section 3 use
+three absolute sizes instead: roughly 16 KB, 256 KB, and 4 MB.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.soc.config import SoCConfig
+from repro.units import KB, MB
+from repro.utils.rng import SeededRNG
+
+#: Absolute sizes used by the Section 3 motivation experiments (Figure 2/3).
+MOTIVATION_SMALL_BYTES = 16 * KB
+MOTIVATION_MEDIUM_BYTES = 256 * KB
+MOTIVATION_LARGE_BYTES = 4 * MB
+
+
+class WorkloadSizeClass(Enum):
+    """Workload-size categories relative to the SoC's cache hierarchy."""
+
+    SMALL = "S"
+    MEDIUM = "M"
+    LARGE = "L"
+    EXTRA_LARGE = "XL"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def footprint_for_class(
+    size_class: WorkloadSizeClass,
+    config: SoCConfig,
+    rng: Optional[SeededRNG] = None,
+    fraction: float = 0.75,
+) -> int:
+    """Return a concrete footprint in bytes for a size class on ``config``.
+
+    ``fraction`` positions the footprint inside the class's range (0.75
+    means "three quarters of the way to the class's upper bound"); when an
+    ``rng`` is given the fraction is sampled uniformly in ``[0.4, 0.9]`` so
+    that generated applications vary their footprints.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError("fraction must be in (0, 1]")
+    if rng is not None:
+        fraction = rng.uniform(0.4, 0.9)
+
+    l2 = config.accelerator_l2_bytes
+    llc_slice = config.llc_partition_bytes
+    llc_total = config.total_llc_bytes
+
+    if size_class is WorkloadSizeClass.SMALL:
+        footprint = int(l2 * fraction)
+    elif size_class is WorkloadSizeClass.MEDIUM:
+        footprint = int(l2 + (llc_slice - l2) * fraction)
+    elif size_class is WorkloadSizeClass.LARGE:
+        footprint = int(llc_slice + (llc_total - llc_slice) * fraction)
+    else:  # EXTRA_LARGE
+        footprint = int(llc_total * (1.0 + fraction))
+    return max(footprint, 4 * KB)
+
+
+def size_class_of(footprint_bytes: int, config: SoCConfig) -> WorkloadSizeClass:
+    """Classify a footprint relative to ``config``'s cache hierarchy."""
+    if footprint_bytes <= config.accelerator_l2_bytes:
+        return WorkloadSizeClass.SMALL
+    if footprint_bytes <= config.llc_partition_bytes:
+        return WorkloadSizeClass.MEDIUM
+    if footprint_bytes <= config.total_llc_bytes:
+        return WorkloadSizeClass.LARGE
+    return WorkloadSizeClass.EXTRA_LARGE

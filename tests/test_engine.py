@@ -1,0 +1,154 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, ResumeAt
+
+
+def delay_process(log, tag, delays):
+    for delay in delays:
+        now = yield delay
+        log.append((tag, now))
+
+
+class TestEngineBasics:
+    def test_single_process_advances_time(self):
+        engine = Engine()
+        log = []
+        engine.spawn("p", delay_process(log, "p", [5, 10]))
+        engine.run()
+        assert log == [("p", 5.0), ("p", 15.0)]
+        assert engine.now == 15.0
+
+    def test_processes_interleave_in_time_order(self):
+        engine = Engine()
+        log = []
+        engine.spawn("slow", delay_process(log, "slow", [10]))
+        engine.spawn("fast", delay_process(log, "fast", [3]))
+        engine.run()
+        assert [tag for tag, _ in log] == ["fast", "slow"]
+
+    def test_start_delay_offsets_process(self):
+        engine = Engine()
+        log = []
+        engine.spawn("late", delay_process(log, "late", [1]), start_delay=100)
+        engine.run()
+        assert log == [("late", 101.0)]
+
+    def test_resume_at_absolute_time(self):
+        engine = Engine()
+        log = []
+
+        def proc():
+            now = yield ResumeAt(42.0)
+            log.append(now)
+
+        engine.spawn("abs", proc())
+        engine.run()
+        assert log == [42.0]
+
+    def test_resume_at_in_past_is_clamped_or_rejected(self):
+        engine = Engine()
+
+        def proc():
+            yield 10
+            yield ResumeAt(5.0)
+
+        engine.spawn("bad", proc())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_on_complete_callback_fires(self):
+        engine = Engine()
+        completed = []
+
+        def proc():
+            yield 1
+
+        engine.spawn("p", proc(), on_complete=lambda process: completed.append(process.name))
+        engine.run()
+        assert completed == ["p"]
+
+    def test_all_finished(self):
+        engine = Engine()
+        engine.spawn("p", delay_process([], "p", [1]))
+        assert not engine.all_finished()
+        engine.run()
+        assert engine.all_finished()
+
+
+class TestEngineErrors:
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+
+        def proc():
+            yield -1
+
+        engine.spawn("neg", proc())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_unsupported_yield_value_rejected(self):
+        engine = Engine()
+
+        def proc():
+            yield "not a delay"
+
+        engine.spawn("bad", proc())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_negative_start_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.spawn("p", delay_process([], "p", [1]), start_delay=-1)
+
+    def test_event_budget_guards_against_livelock(self):
+        engine = Engine()
+
+        def forever():
+            while True:
+                yield 1
+
+        engine.spawn("loop", forever())
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+
+class TestEngineRunUntil:
+    def test_run_until_pauses_and_resumes(self):
+        engine = Engine()
+        log = []
+        engine.spawn("p", delay_process(log, "p", [10, 10]))
+        engine.run(until=5)
+        assert log == []
+        assert engine.now == 5.0
+        engine.run()
+        assert [now for _, now in log] == [10.0, 20.0]
+
+    def test_pending_events_counter(self):
+        engine = Engine()
+        engine.spawn("a", delay_process([], "a", [1]))
+        engine.spawn("b", delay_process([], "b", [1]))
+        assert engine.pending_events == 2
+        engine.run()
+        assert engine.pending_events == 0
+
+    def test_yield_from_subgenerator_returns_value(self):
+        engine = Engine()
+        results = []
+
+        def inner():
+            yield 5
+            return "done"
+
+        def outer():
+            value = yield from inner()
+            results.append(value)
+
+        engine.spawn("outer", outer())
+        engine.run()
+        assert results == ["done"]

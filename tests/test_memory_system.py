@@ -1,0 +1,150 @@
+"""Unit tests for DRAM controllers, LLC partitions, and hardware monitors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.soc.dram import DramController
+from repro.soc.llc import LLCPartition
+from repro.soc.monitors import AcceleratorCounters, HardwareMonitors
+from repro.units import KB
+
+
+@pytest.fixture
+def dram():
+    return DramController(mem_tile=0, bytes_per_cycle=8.0, latency_cycles=100.0, line_bytes=64)
+
+
+@pytest.fixture
+def llc():
+    return LLCPartition(
+        mem_tile=0,
+        size_bytes=64 * KB,
+        line_bytes=64,
+        ways=8,
+        port_bytes_per_cycle=8.0,
+        lookup_cycles=10.0,
+    )
+
+
+class TestDramController:
+    def test_read_counts_lines(self, dram):
+        dram.read(0.0, 1024)
+        assert dram.counters.reads == 16
+        assert dram.counters.writes == 0
+        assert dram.total_accesses == 16
+
+    def test_write_counts_lines(self, dram):
+        dram.write(0.0, 640)
+        assert dram.counters.writes == 10
+
+    def test_write_back_counts_lines_directly(self, dram):
+        dram.write_back(0.0, 5)
+        assert dram.counters.writes == 5
+
+    def test_zero_size_transfers_are_free(self, dram):
+        assert dram.read(10.0, 0) == 10.0
+        assert dram.write(10.0, 0) == 10.0
+        assert dram.write_back(10.0, 0) == 10.0
+        assert dram.total_accesses == 0
+
+    def test_more_bursts_cost_more_latency(self, dram):
+        single = dram.read(0.0, 4096, bursts=1)
+        dram.reset()
+        many = dram.read(0.0, 4096, bursts=16)
+        assert many > single
+
+    def test_snapshot_is_a_copy(self, dram):
+        dram.read(0.0, 64)
+        snapshot = dram.snapshot()
+        dram.read(0.0, 64)
+        assert snapshot.reads == 1
+        assert dram.counters.reads == 2
+
+    def test_reset_clears_counters(self, dram):
+        dram.read(0.0, 64)
+        dram.reset()
+        assert dram.total_accesses == 0
+
+
+class TestLLCPartition:
+    def test_lookup_range_hits_after_warm(self, llc):
+        llc.warm(0, 4 * KB, dirty=True)
+        result = llc.lookup_range(0, 4 * KB, write=False)
+        assert result.misses == 0
+        assert result.hits == 64
+
+    def test_lookup_range_misses_cold(self, llc):
+        result = llc.lookup_range(0, 4 * KB, write=False)
+        assert result.misses == 64
+
+    def test_port_serialization(self, llc):
+        first = llc.serve_port(0.0, 1024)
+        second = llc.serve_port(0.0, 1024)
+        assert second > first
+
+    def test_flush_reports_dirty_writebacks(self, llc):
+        llc.warm(0, 2 * KB, dirty=True)
+        writebacks, invalidations = llc.flush()
+        assert writebacks == 32
+        assert invalidations == 32
+
+    def test_occupancy_and_stats(self, llc):
+        llc.warm(0, 8 * KB)
+        assert llc.occupancy_bytes() == 8 * KB
+        stats = llc.stats()
+        assert "hits" in stats and "port_requests" in stats
+
+    def test_reset(self, llc):
+        llc.warm(0, 1 * KB)
+        llc.serve_port(0.0, 64)
+        llc.reset()
+        assert llc.occupancy_bytes() == 0
+        assert llc.stats()["port_requests"] == 0
+
+    def test_size_property(self, llc):
+        assert llc.size_bytes == 64 * KB
+
+
+class TestHardwareMonitors:
+    def test_ddr_snapshot_and_delta(self, dram):
+        monitors = HardwareMonitors([dram])
+        before = monitors.ddr_snapshot()
+        dram.read(0.0, 640)
+        after = monitors.ddr_snapshot()
+        delta = before.delta(after)
+        assert delta[0] == 10
+        assert after.total == 10
+
+    def test_total_ddr_accesses(self, dram):
+        monitors = HardwareMonitors([dram])
+        dram.write(0.0, 128)
+        assert monitors.total_ddr_accesses() == 2
+
+    def test_accelerator_counters_accumulate(self):
+        monitors = HardwareMonitors([])
+        monitors.reset_accelerator("acc0")
+        monitors.add_accelerator_cycles("acc0", 100.0, 40.0)
+        monitors.add_accelerator_cycles("acc0", 50.0, 10.0)
+        counters = monitors.read_accelerator("acc0")
+        assert counters.total_cycles == 150.0
+        assert counters.comm_cycles == 50.0
+        assert counters.comm_ratio == pytest.approx(1.0 / 3.0)
+
+    def test_unknown_accelerator_reads_zero(self):
+        monitors = HardwareMonitors([])
+        counters = monitors.read_accelerator("ghost")
+        assert counters.total_cycles == 0.0
+
+    def test_comm_ratio_bounds(self):
+        counters = AcceleratorCounters(total_cycles=10.0, comm_cycles=20.0)
+        assert counters.comm_ratio == 1.0
+        assert AcceleratorCounters().comm_ratio == 0.0
+
+    def test_reset_clears_counters(self, dram):
+        monitors = HardwareMonitors([dram])
+        dram.read(0.0, 64)
+        monitors.add_accelerator_cycles("acc0", 10.0, 5.0)
+        monitors.reset()
+        assert monitors.total_ddr_accesses() == 0
+        assert monitors.read_accelerator("acc0").total_cycles == 0.0

@@ -1,0 +1,326 @@
+"""Unit tests for the Q-table, the agent, and the coherence policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerators.library import accelerator_by_name
+from repro.core.agent import AgentConfig, QLearningAgent
+from repro.core.policies import (
+    CohmeleonPolicy,
+    FixedHeterogeneousPolicy,
+    FixedPolicy,
+    ManualPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.core.profiling import (
+    ProfileEntry,
+    choose_fixed_heterogeneous,
+    choose_mode_for_accelerator,
+    profile_summary,
+)
+from repro.core.qtable import QTable
+from repro.core.state import CoherenceState
+from repro.errors import PolicyError
+from repro.soc.coherence import COHERENCE_MODES, CoherenceMode
+from repro.units import KB, MB
+from repro.utils.rng import SeededRNG
+
+from tests.test_state_reward import make_result, make_snapshot
+
+
+def make_request(footprint=16 * KB, accelerator="FFT", tile="acc0"):
+    from repro.accelerators.invocation import InvocationRequest
+    from repro.soc.address import Buffer, BufferSegment
+
+    buffer = Buffer(name="b", size=footprint, segments=(BufferSegment(0, 0, footprint),))
+    return InvocationRequest(
+        accelerator=accelerator_by_name(accelerator),
+        tile_name=tile,
+        buffer=buffer,
+        footprint_bytes=footprint,
+    )
+
+
+STATE0 = CoherenceState(0, 0, 0, 0, 0)
+
+
+class TestQTable:
+    def test_dimensions_match_paper(self):
+        table = QTable()
+        assert table.num_states == 243
+        assert table.num_actions == 4
+        assert table.values.size == 972
+
+    def test_update_rule(self):
+        table = QTable()
+        value = table.update(STATE0, CoherenceMode.COH_DMA, reward=1.0, alpha=0.25)
+        assert value == pytest.approx(0.25)
+        value = table.update(STATE0, CoherenceMode.COH_DMA, reward=1.0, alpha=0.25)
+        assert value == pytest.approx(0.4375)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(PolicyError):
+            QTable().update(STATE0, CoherenceMode.COH_DMA, 1.0, alpha=1.5)
+
+    def test_best_mode_prefers_highest_value(self):
+        table = QTable()
+        table.update(STATE0, CoherenceMode.LLC_COH_DMA, 1.0, 0.5)
+        assert table.best_mode(STATE0) is CoherenceMode.LLC_COH_DMA
+
+    def test_best_mode_respects_allowed_subset(self):
+        table = QTable()
+        table.update(STATE0, CoherenceMode.FULL_COH, 1.0, 0.5)
+        best = table.best_mode(STATE0, allowed=[CoherenceMode.NON_COH_DMA, CoherenceMode.COH_DMA])
+        assert best in (CoherenceMode.NON_COH_DMA, CoherenceMode.COH_DMA)
+
+    def test_best_mode_tie_break_uses_rng(self):
+        table = QTable()
+        rng = SeededRNG(0)
+        chosen = {table.best_mode(STATE0, rng=rng) for _ in range(40)}
+        assert len(chosen) > 1
+
+    def test_best_mode_empty_candidates_raises(self):
+        with pytest.raises(PolicyError):
+            QTable().best_mode(STATE0, allowed=[])
+
+    def test_coverage_and_visited_states(self):
+        table = QTable()
+        assert table.coverage() == 0.0
+        table.update(STATE0, CoherenceMode.COH_DMA, 1.0, 0.5)
+        assert table.visited_states() == [0]
+        assert table.coverage() == pytest.approx(1 / 243)
+
+    def test_serialisation_roundtrip(self):
+        table = QTable()
+        table.update(STATE0, CoherenceMode.COH_DMA, 0.7, 0.25)
+        restored = QTable.from_dict(table.to_dict())
+        assert restored.value(STATE0, CoherenceMode.COH_DMA) == pytest.approx(
+            table.value(STATE0, CoherenceMode.COH_DMA)
+        )
+
+    def test_reset(self):
+        table = QTable()
+        table.update(STATE0, CoherenceMode.COH_DMA, 0.7, 0.25)
+        table.reset()
+        assert table.coverage() == 0.0
+
+    def test_state_index_bounds(self):
+        with pytest.raises(PolicyError):
+            QTable().value(999, CoherenceMode.COH_DMA)
+
+
+class TestAgent:
+    def test_paper_hyperparameters_default(self):
+        agent = QLearningAgent()
+        assert agent.epsilon == pytest.approx(0.5)
+        assert agent.alpha == pytest.approx(0.25)
+
+    def test_linear_decay(self):
+        agent = QLearningAgent()
+        agent.set_training_progress(0.5)
+        assert agent.epsilon == pytest.approx(0.25)
+        assert agent.alpha == pytest.approx(0.125)
+        agent.set_training_progress(1.0)
+        assert agent.epsilon == 0.0
+
+    def test_freeze_stops_learning(self):
+        agent = QLearningAgent()
+        agent.freeze()
+        agent.update(STATE0, CoherenceMode.COH_DMA, 1.0)
+        assert agent.qtable.value(STATE0, CoherenceMode.COH_DMA) == 0.0
+        assert agent.updates == 0
+
+    def test_unfreeze_restores_hyperparameters(self):
+        agent = QLearningAgent()
+        agent.freeze()
+        agent.unfreeze()
+        assert agent.epsilon == pytest.approx(0.5)
+        assert agent.learning_enabled
+
+    def test_exploitation_prefers_learned_action(self):
+        agent = QLearningAgent(rng=SeededRNG(1))
+        agent.update(STATE0, CoherenceMode.LLC_COH_DMA, 1.0)
+        agent.freeze()
+        assert agent.select_action(STATE0) is CoherenceMode.LLC_COH_DMA
+
+    def test_exploration_reaches_all_actions(self):
+        agent = QLearningAgent(AgentConfig(initial_epsilon=1.0), rng=SeededRNG(2))
+        chosen = {agent.select_action(STATE0) for _ in range(60)}
+        assert chosen == set(COHERENCE_MODES)
+
+    def test_select_respects_allowed(self):
+        agent = QLearningAgent(AgentConfig(initial_epsilon=1.0), rng=SeededRNG(3))
+        allowed = [CoherenceMode.NON_COH_DMA, CoherenceMode.COH_DMA]
+        assert all(agent.select_action(STATE0, allowed) in allowed for _ in range(20))
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(PolicyError):
+            AgentConfig(initial_epsilon=1.5)
+
+    def test_summary_counters(self):
+        agent = QLearningAgent(rng=SeededRNG(4))
+        agent.select_action(STATE0)
+        agent.update(STATE0, CoherenceMode.COH_DMA, 0.5)
+        summary = agent.summary()
+        assert summary["decisions"] == 1
+        assert summary["updates"] == 1
+
+
+class TestFixedPolicies:
+    def test_fixed_policy_returns_mode(self):
+        policy = FixedPolicy(CoherenceMode.LLC_COH_DMA)
+        mode = policy.select_mode(make_snapshot(), make_request(), list(COHERENCE_MODES))
+        assert mode is CoherenceMode.LLC_COH_DMA
+        assert policy.name == "fixed-llc-coh-dma"
+
+    def test_fixed_full_coh_falls_back_without_private_cache(self):
+        policy = FixedPolicy(CoherenceMode.FULL_COH)
+        supported = [m for m in COHERENCE_MODES if m is not CoherenceMode.FULL_COH]
+        assert policy.select_mode(make_snapshot(), make_request(), supported) is CoherenceMode.COH_DMA
+
+    def test_fixed_hetero_uses_per_accelerator_mode(self):
+        policy = FixedHeterogeneousPolicy({"FFT": CoherenceMode.FULL_COH})
+        mode = policy.select_mode(make_snapshot(), make_request("FFT" and 16 * KB), list(COHERENCE_MODES))
+        assert mode is CoherenceMode.FULL_COH
+
+    def test_fixed_hetero_default_mode(self):
+        policy = FixedHeterogeneousPolicy({}, default_mode=CoherenceMode.LLC_COH_DMA)
+        mode = policy.select_mode(make_snapshot(), make_request(), list(COHERENCE_MODES))
+        assert mode is CoherenceMode.LLC_COH_DMA
+
+    def test_random_policy_covers_supported_modes(self):
+        policy = RandomPolicy(SeededRNG(5))
+        modes = {
+            policy.select_mode(make_snapshot(), make_request(), list(COHERENCE_MODES))
+            for _ in range(50)
+        }
+        assert modes == set(COHERENCE_MODES)
+
+    def test_random_policy_empty_supported_raises(self):
+        with pytest.raises(PolicyError):
+            RandomPolicy(SeededRNG(5)).select_mode(make_snapshot(), make_request(), [])
+
+
+class TestManualPolicy:
+    def choose(self, footprint, **snapshot_overrides):
+        policy = ManualPolicy()
+        snapshot = make_snapshot(target_footprint_bytes=footprint, **snapshot_overrides)
+        return policy.select_mode(snapshot, make_request(max(footprint, 1)), list(COHERENCE_MODES))
+
+    def test_extra_small_goes_fully_coherent(self):
+        assert self.choose(2 * KB) is CoherenceMode.FULL_COH
+
+    def test_l2_sized_depends_on_active_modes(self):
+        assert self.choose(24 * KB) is CoherenceMode.COH_DMA
+        busy = {m.label: 0 for m in CoherenceMode}
+        busy[CoherenceMode.COH_DMA.label] = 2
+        assert self.choose(24 * KB, active_per_mode=busy) is CoherenceMode.FULL_COH
+
+    def test_llc_overflow_goes_non_coherent(self):
+        assert self.choose(2 * MB) is CoherenceMode.NON_COH_DMA
+        assert (
+            self.choose(300 * KB, active_footprint_bytes=1 * MB)
+            is CoherenceMode.NON_COH_DMA
+        )
+
+    def test_mid_size_prefers_coherent_dma(self):
+        assert self.choose(200 * KB) is CoherenceMode.COH_DMA
+
+    def test_mid_size_avoids_non_coherent_crowd(self):
+        busy = {m.label: 0 for m in CoherenceMode}
+        busy[CoherenceMode.NON_COH_DMA.label] = 2
+        assert self.choose(200 * KB, active_per_mode=busy) is CoherenceMode.LLC_COH_DMA
+
+
+class TestCohmeleonPolicy:
+    def test_learning_updates_qtable(self):
+        policy = CohmeleonPolicy(rng=SeededRNG(6))
+        request = make_request()
+        snapshot = make_snapshot()
+        mode = policy.select_mode(snapshot, request, list(COHERENCE_MODES))
+        policy.observe_result(request, mode, snapshot, make_result())
+        assert policy.agent.updates == 1
+        assert len(policy.decisions) == 1
+        assert policy.decisions[0].reward > 0.0
+
+    def test_freeze_and_unfreeze(self):
+        policy = CohmeleonPolicy(rng=SeededRNG(7))
+        policy.freeze()
+        assert policy.agent.epsilon == 0.0
+        policy.unfreeze()
+        assert policy.agent.epsilon == pytest.approx(0.5)
+
+    def test_decision_breakdown_counts(self):
+        policy = CohmeleonPolicy(rng=SeededRNG(8))
+        request = make_request()
+        snapshot = make_snapshot()
+        for _ in range(10):
+            policy.select_mode(snapshot, request, list(COHERENCE_MODES))
+        breakdown = policy.decision_breakdown()
+        assert sum(breakdown.values()) == 10
+
+    def test_clear_history_keeps_qtable(self):
+        policy = CohmeleonPolicy(rng=SeededRNG(9))
+        request = make_request()
+        snapshot = make_snapshot()
+        mode = policy.select_mode(snapshot, request, list(COHERENCE_MODES))
+        policy.observe_result(request, mode, snapshot, make_result())
+        policy.clear_history()
+        assert policy.decisions == []
+        assert policy.qtable.coverage() > 0.0
+
+    def test_overhead_larger_than_fixed_policies(self):
+        assert CohmeleonPolicy.overhead_cycles > FixedPolicy.overhead_cycles
+
+
+class TestPolicyFactory:
+    def test_make_all_standard_kinds(self):
+        for kind in (
+            "fixed-non-coh-dma",
+            "fixed-llc-coh-dma",
+            "fixed-coh-dma",
+            "fixed-full-coh",
+            "fixed-hetero",
+            "rand",
+            "manual",
+            "cohmeleon",
+        ):
+            policy = make_policy(kind, rng=SeededRNG(0))
+            assert policy.name in (kind, f"{kind}")
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(PolicyError):
+            make_policy("oracle")
+
+
+class TestProfiling:
+    def entries(self):
+        return [
+            ProfileEntry("FFT", CoherenceMode.NON_COH_DMA, 16 * KB, 2000.0, 100.0),
+            ProfileEntry("FFT", CoherenceMode.COH_DMA, 16 * KB, 1000.0, 0.0),
+            ProfileEntry("FFT", CoherenceMode.NON_COH_DMA, 4 * MB, 10000.0, 500.0),
+            ProfileEntry("FFT", CoherenceMode.COH_DMA, 4 * MB, 30000.0, 600.0),
+        ]
+
+    def test_choose_mode_balances_footprints(self):
+        # COH_DMA wins small (2x), NON_COH wins large (3x): NON_COH has the
+        # better geometric mean across the two footprints.
+        assert choose_mode_for_accelerator(self.entries()) is CoherenceMode.NON_COH_DMA
+
+    def test_choose_fixed_heterogeneous_per_accelerator(self):
+        entries = self.entries() + [
+            ProfileEntry("GEMM", CoherenceMode.FULL_COH, 16 * KB, 500.0, 0.0),
+            ProfileEntry("GEMM", CoherenceMode.NON_COH_DMA, 16 * KB, 1500.0, 10.0),
+        ]
+        modes = choose_fixed_heterogeneous(entries)
+        assert modes["GEMM"] is CoherenceMode.FULL_COH
+
+    def test_empty_profile_raises(self):
+        with pytest.raises(PolicyError):
+            choose_mode_for_accelerator([])
+
+    def test_profile_summary_contains_all_modes_seen(self):
+        summary = profile_summary(self.entries())
+        assert set(summary["FFT"]) == {"non-coh-dma", "coh-dma"}

@@ -1,0 +1,182 @@
+"""Unit tests for the RL state space and the reward function."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerators.invocation import InvocationResult
+from repro.core.reward import DEFAULT_REWARD_WEIGHTS, RewardTracker, RewardWeights
+from repro.core.state import (
+    LEVELS_PER_ATTRIBUTE,
+    NUM_ATTRIBUTES,
+    NUM_STATES,
+    CoherenceState,
+    discretize_snapshot,
+)
+from repro.errors import PolicyError
+from repro.runtime.status import SystemSnapshot
+from repro.soc.coherence import CoherenceMode
+from repro.units import KB
+
+
+def make_snapshot(**overrides):
+    defaults = dict(
+        target_footprint_bytes=16 * KB,
+        target_mem_tiles=(0,),
+        active_per_mode={m.label: 0 for m in CoherenceMode},
+        non_coh_per_target_tile=0.0,
+        llc_users_per_target_tile=0.0,
+        tile_footprint_bytes=16 * KB,
+        active_footprint_bytes=0,
+        active_accelerators=0,
+        l2_bytes=32 * KB,
+        llc_partition_bytes=256 * KB,
+        llc_total_bytes=512 * KB,
+    )
+    defaults.update(overrides)
+    return SystemSnapshot(**defaults)
+
+
+def make_result(name="FFT", cycles=1000.0, comm=0.5, mem=10.0, footprint=1000):
+    return InvocationResult(
+        accelerator_name=name,
+        tile_name="acc0",
+        mode=CoherenceMode.COH_DMA,
+        footprint_bytes=footprint,
+        total_cycles=cycles,
+        accelerator_cycles=cycles,
+        comm_cycles=cycles * comm,
+        ddr_accesses=mem,
+    )
+
+
+class TestStateSpace:
+    def test_state_space_size_is_243(self):
+        assert NUM_STATES == 243
+        assert LEVELS_PER_ATTRIBUTE**NUM_ATTRIBUTES == 243
+
+    def test_index_roundtrip_for_all_states(self):
+        for index in range(NUM_STATES):
+            assert CoherenceState.from_index(index).index == index
+
+    def test_invalid_attribute_rejected(self):
+        with pytest.raises(PolicyError):
+            CoherenceState(3, 0, 0, 0, 0)
+
+    def test_invalid_index_rejected(self):
+        with pytest.raises(PolicyError):
+            CoherenceState.from_index(NUM_STATES)
+
+    def test_idle_small_snapshot_maps_to_zero_state(self):
+        state = discretize_snapshot(make_snapshot())
+        assert state.as_tuple() == (0, 0, 0, 0, 0)
+        assert state.index == 0
+
+    def test_footprint_thresholds(self):
+        small = discretize_snapshot(make_snapshot(target_footprint_bytes=32 * KB))
+        medium = discretize_snapshot(make_snapshot(target_footprint_bytes=200 * KB))
+        large = discretize_snapshot(make_snapshot(target_footprint_bytes=1024 * KB))
+        assert small.acc_footprint == 0
+        assert medium.acc_footprint == 1
+        assert large.acc_footprint == 2
+
+    def test_count_discretisation_saturates_at_two(self):
+        snapshot = make_snapshot(
+            active_per_mode={
+                CoherenceMode.FULL_COH.label: 7,
+                CoherenceMode.NON_COH_DMA.label: 0,
+                CoherenceMode.LLC_COH_DMA.label: 0,
+                CoherenceMode.COH_DMA.label: 0,
+            },
+            non_coh_per_target_tile=5.0,
+            llc_users_per_target_tile=1.0,
+        )
+        state = discretize_snapshot(snapshot)
+        assert state.fully_coh_acc == 2
+        assert state.non_coh_acc_per_tile == 2
+        assert state.to_llc_per_tile == 1
+
+    def test_tile_footprint_uses_average_utilisation(self):
+        snapshot = make_snapshot(tile_footprint_bytes=300 * KB)
+        assert discretize_snapshot(snapshot).tile_footprint == 2
+
+
+class TestRewardWeights:
+    def test_default_matches_paper(self):
+        exec_w, comm_w, mem_w = DEFAULT_REWARD_WEIGHTS.normalized()
+        assert exec_w == pytest.approx(0.675)
+        assert comm_w == pytest.approx(0.075)
+        assert mem_w == pytest.approx(0.25)
+
+    def test_from_percentages(self):
+        weights = RewardWeights.from_percentages(50, 25, 25)
+        assert weights.normalized() == pytest.approx((0.5, 0.25, 0.25))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(PolicyError):
+            RewardWeights(-0.1, 0.5, 0.6)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(PolicyError):
+            RewardWeights(0.0, 0.0, 0.0)
+
+
+class TestRewardTracker:
+    def test_first_invocation_gets_full_reward(self):
+        tracker = RewardTracker()
+        components = tracker.evaluate(make_result())
+        assert components.r_exec == pytest.approx(1.0)
+        assert components.r_comm == pytest.approx(1.0)
+        assert components.r_mem == pytest.approx(1.0)
+        assert components.total == pytest.approx(1.0)
+
+    def test_slower_invocation_gets_lower_r_exec(self):
+        tracker = RewardTracker()
+        tracker.evaluate(make_result(cycles=1000.0))
+        components = tracker.evaluate(make_result(cycles=2000.0))
+        assert components.r_exec == pytest.approx(0.5)
+
+    def test_r_mem_interpolates_between_extremes(self):
+        tracker = RewardTracker()
+        tracker.evaluate(make_result(mem=0.0))
+        tracker.evaluate(make_result(mem=100.0))
+        components = tracker.evaluate(make_result(mem=50.0))
+        assert components.r_mem == pytest.approx(0.5)
+
+    def test_highest_memory_count_gets_zero_r_mem(self):
+        tracker = RewardTracker()
+        tracker.evaluate(make_result(mem=0.0))
+        components = tracker.evaluate(make_result(mem=100.0))
+        assert components.r_mem == pytest.approx(0.0)
+
+    def test_zero_comm_ratio_treated_as_perfect(self):
+        tracker = RewardTracker()
+        components = tracker.evaluate(make_result(comm=0.0))
+        assert components.r_comm == pytest.approx(1.0)
+
+    def test_histories_are_per_accelerator(self):
+        tracker = RewardTracker()
+        tracker.evaluate(make_result(name="FFT", cycles=1000.0))
+        components = tracker.evaluate(make_result(name="GEMM", cycles=5000.0))
+        assert components.r_exec == pytest.approx(1.0)
+
+    def test_weights_change_total(self):
+        mem_only = RewardTracker(RewardWeights(0.0, 0.0, 1.0))
+        mem_only.evaluate(make_result(mem=0.0))
+        mem_only.evaluate(make_result(mem=100.0))
+        components = mem_only.evaluate(make_result(mem=100.0, cycles=500.0))
+        assert components.total == pytest.approx(components.r_mem)
+
+    def test_reward_total_is_convex_combination(self):
+        tracker = RewardTracker()
+        tracker.evaluate(make_result())
+        components = tracker.evaluate(make_result(cycles=3000.0, mem=50.0))
+        assert 0.0 <= components.total <= 1.0
+
+    def test_history_reporting_and_reset(self):
+        tracker = RewardTracker()
+        tracker.evaluate(make_result())
+        history = tracker.history_for("FFT")
+        assert history["invocations"] == 1
+        tracker.reset()
+        assert tracker.history_for("FFT")["invocations"] == 0
