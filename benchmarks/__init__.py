@@ -1,0 +1,6 @@
+"""Benchmark harnesses regenerating the paper's tables and figures.
+
+Making this directory a package lets the ``bench_*.py`` modules use
+relative imports of the shared ``conftest`` helpers under pytest's default
+import mode: ``PYTHONPATH=src python -m pytest benchmarks -q``.
+"""

@@ -19,7 +19,7 @@ from repro.units import KB, MB
 from .conftest import is_full_scale
 
 
-def _run():
+def _run(runner=None):
     setup = motivation_setup(line_bytes=256)
     sizes = dict(ISOLATION_SIZES) if is_full_scale() else {
         "Small": 16 * KB,
@@ -28,12 +28,12 @@ def _run():
     }
     accelerators = setup.accelerators if is_full_scale() else setup.accelerators[:8]
     return run_isolation_experiment(
-        setup, accelerators=accelerators, sizes=sizes, repeats=1
+        setup, accelerators=accelerators, sizes=sizes, repeats=1, runner=runner
     )
 
 
-def test_fig2_isolation(benchmark, emit):
-    measurements = benchmark.pedantic(_run, rounds=1, iterations=1)
+def test_fig2_isolation(benchmark, emit, sweep_runner):
+    measurements = benchmark.pedantic(_run, args=(sweep_runner,), rounds=1, iterations=1)
     text = report_isolation(measurements)
     best = best_mode_per_workload(measurements)
     winners = "\n".join(

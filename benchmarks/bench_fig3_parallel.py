@@ -19,15 +19,15 @@ from repro.utils.tables import format_mapping
 from .conftest import is_full_scale
 
 
-def _run():
+def _run(runner=None):
     invocations = 4 if is_full_scale() else 3
     return run_parallel_experiment(
-        parallel_setup(line_bytes=256), invocations_per_thread=invocations
+        parallel_setup(line_bytes=256), invocations_per_thread=invocations, runner=runner
     )
 
 
-def test_fig3_parallel(benchmark, emit):
-    measurements = benchmark.pedantic(_run, rounds=1, iterations=1)
+def test_fig3_parallel(benchmark, emit, sweep_runner):
+    measurements = benchmark.pedantic(_run, args=(sweep_runner,), rounds=1, iterations=1)
     text = report_parallel(measurements)
     summary = degradation_summary(measurements)
     emit(

@@ -14,18 +14,19 @@ from repro.experiments.report import report_phases
 from .conftest import is_full_scale
 
 
-def _run():
+def _run(runner=None):
     setup = traffic_setup("SoC0", seed=3)
     return run_phase_analysis(
         setup=setup,
         training_iterations=10 if is_full_scale() else 6,
         loops_per_thread=2 if is_full_scale() else 1,
         seed=3,
+        runner=runner,
     )
 
 
-def test_fig5_phases(benchmark, emit):
-    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+def test_fig5_phases(benchmark, emit, sweep_runner):
+    result = benchmark.pedantic(_run, args=(sweep_runner,), rounds=1, iterations=1)
     emit("fig5_phases", report_phases(result))
     # Cohmeleon must stay competitive with the best policy in every phase
     # (the paper: it matches or improves on the best execution time).

@@ -14,7 +14,7 @@ from repro.utils.stats import mean
 from .conftest import is_full_scale
 
 
-def _run():
+def _run(runner=None):
     setup = traffic_setup("SoC0", seed=13)
     weightings = REWARD_WEIGHTINGS if is_full_scale() else REWARD_WEIGHTINGS[::2]
     return run_reward_dse(
@@ -22,11 +22,12 @@ def _run():
         weightings=weightings,
         training_iterations=8 if is_full_scale() else 4,
         seed=13,
+        runner=runner,
     )
 
 
-def test_fig6_reward_dse(benchmark, emit):
-    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+def test_fig6_reward_dse(benchmark, emit, sweep_runner):
+    result = benchmark.pedantic(_run, args=(sweep_runner,), rounds=1, iterations=1)
     emit("fig6_reward_dse", report_reward_dse(result))
     cohmeleon_points = result.cohmeleon_points()
     assert cohmeleon_points

@@ -13,17 +13,18 @@ from repro.experiments.report import report_breakdown
 from .conftest import is_full_scale
 
 
-def _run():
+def _run(runner=None):
     setup = traffic_setup("SoC0", seed=17)
     return run_breakdown_experiment(
         setup=setup,
         training_iterations=10 if is_full_scale() else 6,
         seed=17,
+        runner=runner,
     )
 
 
-def test_fig7_breakdown(benchmark, emit):
-    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+def test_fig7_breakdown(benchmark, emit, sweep_runner):
+    result = benchmark.pedantic(_run, args=(sweep_runner,), rounds=1, iterations=1)
     emit("fig7_breakdown", report_breakdown(result))
     cohmeleon = result.breakdowns["cohmeleon"]
     manual = result.breakdowns["manual"]

@@ -39,18 +39,18 @@ def _quick_apps(setup):
     return train, test
 
 
-def _run():
+def _run(runner=None):
     setup = traffic_setup("SoC1", seed=23)
     if is_full_scale():
-        return run_training_study(setup=setup, budgets=(10, 30, 50), seed=23)
+        return run_training_study(setup=setup, budgets=(10, 30, 50), seed=23, runner=runner)
     train, test = _quick_apps(setup)
     return run_training_study(
-        setup=setup, budgets=(5, 10), seed=23, train_app=train, test_app=test
+        setup=setup, budgets=(5, 10), seed=23, train_app=train, test_app=test, runner=runner
     )
 
 
-def test_fig8_training(benchmark, emit):
-    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+def test_fig8_training(benchmark, emit, sweep_runner):
+    result = benchmark.pedantic(_run, args=(sweep_runner,), rounds=1, iterations=1)
     emit("fig8_training", report_training(result))
     for budget, curve in result.curves.items():
         # Training must not make the policy worse than the untrained

@@ -17,18 +17,20 @@ from repro.experiments.summary import summarize_headline
 from .conftest import is_full_scale
 
 
-def _run():
+def _run(runner=None):
     if is_full_scale():
         labels = FIGURE9_SOC_LABELS
         iterations = 10
     else:
         labels = ("SoC0-Streaming", "SoC0-Irregular", "SoC1", "SoC2", "SoC4", "SoC5", "SoC6")
         iterations = 4
-    return run_soc_comparison(labels=labels, training_iterations=iterations, seed=29)
+    return run_soc_comparison(
+        labels=labels, training_iterations=iterations, seed=29, runner=runner
+    )
 
 
-def test_fig9_socs_and_headline(benchmark, emit):
-    comparison = benchmark.pedantic(_run, rounds=1, iterations=1)
+def test_fig9_socs_and_headline(benchmark, emit, sweep_runner):
+    comparison = benchmark.pedantic(_run, args=(sweep_runner,), rounds=1, iterations=1)
     summary = summarize_headline(comparison)
     emit(
         "fig9_socs_and_headline",

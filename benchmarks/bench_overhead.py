@@ -15,18 +15,20 @@ from repro.units import KB, MB
 from .conftest import is_full_scale
 
 
-def _run():
+def _run(runner=None):
     setup = motivation_setup(line_bytes=256)
     footprints = (
         (16 * KB, 64 * KB, 256 * KB, 1 * MB, 4 * MB)
         if is_full_scale()
         else (16 * KB, 256 * KB, 2 * MB)
     )
-    return run_overhead_experiment(setup=setup, footprints=footprints, invocations_per_point=2)
+    return run_overhead_experiment(
+        setup=setup, footprints=footprints, invocations_per_point=2, runner=runner
+    )
 
 
-def test_overhead(benchmark, emit):
-    measurements = benchmark.pedantic(_run, rounds=1, iterations=1)
+def test_overhead(benchmark, emit, sweep_runner):
+    measurements = benchmark.pedantic(_run, args=(sweep_runner,), rounds=1, iterations=1)
     emit("overhead", report_overhead(measurements))
     # Overhead decreases as the workload grows, and is small for the
     # largest footprint.

@@ -1,0 +1,79 @@
+"""Orchestration scaling: serial vs. multi-worker wall-clock for a SoC grid.
+
+Runs a reduced Figure 9 grid (two SoCs, four policies, one training
+iteration) through the sweep runner once serially and once with two worker
+processes, verifies the results are identical, and records both wall-clock
+times — plus the speedup — to ``benchmarks/results/BENCH_sweep_scaling.json``
+so the performance trajectory starts capturing orchestration speedup.
+
+On a single-core machine the parallel run may be no faster (process
+scheduling overhead dominates); the benchmark therefore asserts
+determinism, not speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.experiments.socs import run_soc_comparison
+from repro.experiments.sweep import SweepRunner
+
+from .conftest import RESULTS_DIR, is_full_scale
+
+PARALLEL_WORKERS = 2
+
+
+def _grid_kwargs():
+    if is_full_scale():
+        return {
+            "labels": ("SoC1", "SoC2", "SoC3", "SoC6"),
+            "policy_kinds": (
+                "fixed-non-coh-dma",
+                "fixed-llc-coh-dma",
+                "fixed-coh-dma",
+                "manual",
+                "cohmeleon",
+            ),
+            "training_iterations": 4,
+            "seed": 29,
+        }
+    return {
+        "labels": ("SoC1", "SoC6"),
+        "policy_kinds": ("fixed-non-coh-dma", "fixed-coh-dma", "manual", "cohmeleon"),
+        "training_iterations": 1,
+        "seed": 29,
+    }
+
+
+def _timed_run(workers):
+    started = time.perf_counter()
+    comparison = run_soc_comparison(runner=SweepRunner(workers=workers), **_grid_kwargs())
+    return comparison, time.perf_counter() - started
+
+
+def test_sweep_scaling(benchmark, emit):
+    (serial, serial_seconds), (parallel, parallel_seconds) = benchmark.pedantic(
+        lambda: (_timed_run(1), _timed_run(PARALLEL_WORKERS)), rounds=1, iterations=1
+    )
+    assert serial.points == parallel.points  # worker count never changes results
+
+    record = {
+        "benchmark": "sweep_scaling",
+        "grid": {k: list(v) if isinstance(v, tuple) else v for k, v in _grid_kwargs().items()},
+        "jobs": len(_grid_kwargs()["labels"]),
+        "serial_seconds": serial_seconds,
+        "parallel_workers": PARALLEL_WORKERS,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds if parallel_seconds > 0 else 0.0,
+    }
+    (RESULTS_DIR / "BENCH_sweep_scaling.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
+    emit(
+        "sweep_scaling",
+        "Sweep orchestration scaling (reduced Figure 9 grid)\n"
+        f"  serial:            {serial_seconds:8.2f} s\n"
+        f"  {PARALLEL_WORKERS} workers:         {parallel_seconds:8.2f} s\n"
+        f"  speedup:           {record['speedup']:8.2f}x",
+    )

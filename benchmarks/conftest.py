@@ -17,6 +17,8 @@ from pathlib import Path
 
 import pytest
 
+from repro.experiments.sweep import ResultCache, SweepRunner, autodetect_workers
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Scale factor hook: setting REPRO_BENCH_SCALE=full runs the heavier,
@@ -28,6 +30,34 @@ BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
 def is_full_scale() -> bool:
     """Whether the benchmarks should run at full (paper) scale."""
     return BENCH_SCALE == "full"
+
+
+def bench_workers() -> int:
+    """Worker count for the benchmark sweeps.
+
+    ``REPRO_BENCH_WORKERS=N`` forces N workers; ``REPRO_BENCH_WORKERS=auto``
+    autodetects one per CPU.  The default is serial so the measured
+    wall-clock stays comparable across machines.
+    """
+    raw = os.environ.get("REPRO_BENCH_WORKERS", "1")
+    if raw == "auto":
+        return autodetect_workers()
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+@pytest.fixture(scope="session")
+def sweep_runner() -> SweepRunner:
+    """The sweep runner every figure benchmark dispatches its grid through.
+
+    Set ``REPRO_BENCH_CACHE=<dir>`` to reuse simulated jobs across runs
+    (useful when iterating on the report layer only).
+    """
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return SweepRunner(workers=bench_workers(), cache=cache)
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -98,3 +98,43 @@ class InvocationResult:
             "ddr_accesses": self.ddr_accesses,
             "policy_overhead_cycles": self.policy_overhead_cycles,
         }
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (used by the sweep runner and result cache)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Full-fidelity JSON form; inverse of :meth:`from_dict`."""
+        return {
+            "accelerator_name": self.accelerator_name,
+            "tile_name": self.tile_name,
+            "mode": self.mode.label,
+            "footprint_bytes": self.footprint_bytes,
+            "total_cycles": self.total_cycles,
+            "accelerator_cycles": self.accelerator_cycles,
+            "comm_cycles": self.comm_cycles,
+            "ddr_accesses": self.ddr_accesses,
+            "policy_overhead_cycles": self.policy_overhead_cycles,
+            "start_time": self.start_time,
+            "finish_time": self.finish_time,
+            "details": dict(self.details),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "InvocationResult":
+        """Rebuild an invocation result from :meth:`to_dict` output."""
+        from repro.soc.coherence import mode_from_label
+
+        return cls(
+            accelerator_name=str(data["accelerator_name"]),
+            tile_name=str(data["tile_name"]),
+            mode=mode_from_label(str(data["mode"])),
+            footprint_bytes=int(data["footprint_bytes"]),
+            total_cycles=float(data["total_cycles"]),
+            accelerator_cycles=float(data["accelerator_cycles"]),
+            comm_cycles=float(data["comm_cycles"]),
+            ddr_accesses=float(data["ddr_accesses"]),
+            policy_overhead_cycles=float(data.get("policy_overhead_cycles", 0.0)),
+            start_time=float(data.get("start_time", 0.0)),
+            finish_time=float(data.get("finish_time", 0.0)),
+            details={str(k): float(v) for k, v in dict(data.get("details", {})).items()},
+        )

@@ -34,3 +34,7 @@ class PolicyError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was given inconsistent parameters."""
+
+
+class SweepError(ReproError):
+    """A sweep specification, job, or result cache is invalid."""

@@ -17,6 +17,12 @@ the experiment index):
 
 All harnesses are deterministic given their seed and accept scaling
 parameters so they can run at reduced cost inside the benchmark suite.
+
+Every harness accepts an optional ``runner`` (a
+:class:`repro.experiments.sweep.SweepRunner`) that fans its grid out over
+worker processes and caches job results on disk; ``python -m
+repro.experiments <figure>`` exposes the same machinery on the command
+line.
 """
 
 from repro.experiments.common import (
@@ -28,11 +34,25 @@ from repro.experiments.common import (
     motivation_setup,
     traffic_setup,
 )
+from repro.experiments.sweep import (
+    Job,
+    ResultCache,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+    autodetect_workers,
+)
 
 __all__ = [
     "ExperimentSetup",
+    "Job",
     "PolicyEvaluation",
+    "ResultCache",
     "STANDARD_POLICY_KINDS",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "autodetect_workers",
     "build_runtime",
     "evaluate_policies",
     "motivation_setup",

@@ -1,0 +1,8 @@
+"""``python -m repro.experiments`` — run a figure through the sweep runner."""
+
+import sys
+
+from repro.experiments.sweep.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@ from repro.experiments.common import (
     traffic_setup,
 )
 from repro.experiments.phases import figure5_application, training_application
+from repro.experiments.sweep import SweepRunner
 from repro.soc.coherence import COHERENCE_MODES
 from repro.workloads.sizes import WorkloadSizeClass, size_class_of
 
@@ -96,6 +97,7 @@ def run_breakdown_experiment(
     policy_kinds: Sequence[str] = ("manual", "cohmeleon"),
     training_iterations: int = 10,
     seed: int = 17,
+    runner: Optional[SweepRunner] = None,
 ) -> BreakdownResult:
     """Run the Figure 7 experiment."""
     setup = setup if setup is not None else traffic_setup("SoC0", seed=seed)
@@ -108,6 +110,7 @@ def run_breakdown_experiment(
         test_app,
         training_app=train_app,
         training_iterations=training_iterations,
+        runner=runner,
     )
     breakdowns = {
         name: breakdown_from_invocations(name, evaluation.result.invocations, setup)

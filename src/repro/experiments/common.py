@@ -12,6 +12,7 @@ decaying epsilon/alpha, freeze, and evaluate on a different instance.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -28,6 +29,7 @@ from repro.core.policies import (
 )
 from repro.core.reward import DEFAULT_REWARD_WEIGHTS, RewardWeights
 from repro.errors import ExperimentError
+from repro.experiments.sweep import Job, SweepRunner, SweepSpec, run_spec
 from repro.runtime.api import EspRuntime
 from repro.soc.coherence import CoherenceMode
 from repro.soc.config import SoCConfig, soc_preset
@@ -179,6 +181,26 @@ class PolicyEvaluation:
         """Off-chip accesses of each test-application phase."""
         return {phase.name: float(phase.ddr_accesses) for phase in self.result.phases}
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON form (crosses process boundaries and persists in the cache)."""
+        return {
+            "policy_name": self.policy_name,
+            "result": self.result.to_dict(),
+            "training_results": [result.to_dict() for result in self.training_results],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PolicyEvaluation":
+        """Rebuild an evaluation from :meth:`to_dict` output."""
+        return cls(
+            policy_name=str(data["policy_name"]),
+            result=ApplicationResult.from_dict(data["result"]),  # type: ignore[arg-type]
+            training_results=[
+                ApplicationResult.from_dict(entry)
+                for entry in list(data.get("training_results", []))
+            ],
+        )
+
 
 def train_policy(
     setup: ExperimentSetup,
@@ -215,26 +237,80 @@ def evaluate_policy(
     return run_application(soc, runtime, test_app)
 
 
+def evaluate_one_policy(
+    setup: ExperimentSetup,
+    policy: CoherencePolicy,
+    test_app: ApplicationSpec,
+    training_app: Optional[ApplicationSpec] = None,
+    training_iterations: int = 10,
+    policy_name: Optional[str] = None,
+) -> PolicyEvaluation:
+    """Train (if learning) and evaluate one policy; mutates ``policy``."""
+    training_results: List[ApplicationResult] = []
+    if isinstance(policy, CohmeleonPolicy):
+        if training_app is not None and training_iterations > 0:
+            training_results = train_policy(
+                setup, policy, training_app, training_iterations
+            )
+        policy.freeze()
+        policy.clear_history()
+    result = evaluate_policy(setup, policy, test_app)
+    return PolicyEvaluation(
+        policy_name=policy_name if policy_name is not None else policy.name,
+        result=result,
+        training_results=training_results,
+    )
+
+
+def _policy_evaluation_job(params: Dict[str, object], rng) -> Dict[str, object]:
+    """Sweep job: evaluate one policy on one setup (see :func:`evaluate_policies`)."""
+    evaluation = evaluate_one_policy(
+        setup=params["setup"],  # type: ignore[arg-type]
+        policy=params["policy"],  # type: ignore[arg-type]
+        test_app=params["test_app"],  # type: ignore[arg-type]
+        training_app=params["training_app"],  # type: ignore[arg-type]
+        training_iterations=int(params["training_iterations"]),  # type: ignore[arg-type]
+        policy_name=str(params["policy_name"]),
+    )
+    return evaluation.to_dict()
+
+
 def evaluate_policies(
     setup: ExperimentSetup,
     policies: Dict[str, CoherencePolicy],
     test_app: ApplicationSpec,
     training_app: Optional[ApplicationSpec] = None,
     training_iterations: int = 10,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, PolicyEvaluation]:
-    """Evaluate every policy on ``test_app`` (training the learning ones first)."""
-    evaluations: Dict[str, PolicyEvaluation] = {}
-    for name, policy in policies.items():
-        training_results: List[ApplicationResult] = []
-        if isinstance(policy, CohmeleonPolicy):
-            if training_app is not None and training_iterations > 0:
-                training_results = train_policy(
-                    setup, policy, training_app, training_iterations
-                )
-            policy.freeze()
-            policy.clear_history()
-        result = evaluate_policy(setup, policy, test_app)
-        evaluations[name] = PolicyEvaluation(
-            policy_name=name, result=result, training_results=training_results
+    """Evaluate every policy on ``test_app`` (training the learning ones first).
+
+    Every evaluation runs on a *deep copy* of the caller's policy object, so
+    evaluations are independent of each other and of the caller: training,
+    freezing, and history-clearing never leak into the passed-in policies,
+    and two ``evaluate_policies`` calls with the same arguments return
+    identical results.  With ``runner`` the per-policy evaluations dispatch
+    through the sweep runner (one job per policy) and may execute in
+    parallel worker processes.
+    """
+    jobs = [
+        Job(
+            key=name,
+            fn=_policy_evaluation_job,
+            params={
+                "setup": setup,
+                "policy": copy.deepcopy(policy),
+                "policy_name": name,
+                "test_app": test_app,
+                "training_app": training_app,
+                "training_iterations": training_iterations,
+            },
+            seed=setup.seed,
         )
-    return evaluations
+        for name, policy in policies.items()
+    ]
+    spec = SweepSpec(name=f"evaluate-{setup.name}", jobs=jobs)
+    outcome = run_spec(spec, runner)
+    return {
+        name: PolicyEvaluation.from_dict(outcome[name]) for name in policies
+    }

@@ -22,6 +22,7 @@ from repro.core.policies import FixedHeterogeneousPolicy, FixedPolicy
 from repro.core.profiling import ProfileEntry, choose_fixed_heterogeneous
 from repro.errors import ExperimentError
 from repro.experiments.common import ExperimentSetup, build_runtime
+from repro.experiments.sweep import Job, SweepRunner, SweepSpec, run_spec
 from repro.soc.coherence import COHERENCE_MODES, CoherenceMode
 from repro.units import KB, MB
 from repro.utils.stats import mean
@@ -96,34 +97,66 @@ def measure_isolated(
     )
 
 
+def _isolation_job(params: Dict[str, object], rng) -> Dict[str, object]:
+    """Sweep job: one (accelerator, size, mode) cell of the Figure 2 grid."""
+    cycles, accesses = measure_isolated(
+        params["setup"],  # type: ignore[arg-type]
+        params["accelerator"],  # type: ignore[arg-type]
+        int(params["footprint_bytes"]),  # type: ignore[arg-type]
+        params["mode"],  # type: ignore[arg-type]
+        repeats=int(params["repeats"]),  # type: ignore[arg-type]
+    )
+    return {"exec_cycles": cycles, "ddr_accesses": accesses}
+
+
 def run_isolation_experiment(
     setup: ExperimentSetup,
     accelerators: Optional[Sequence[AcceleratorDescriptor]] = None,
     sizes: Optional[Mapping[str, int]] = None,
     modes: Sequence[CoherenceMode] = COHERENCE_MODES,
     repeats: int = 1,
+    runner: Optional[SweepRunner] = None,
 ) -> List[IsolationMeasurement]:
     """Run the full Figure 2 sweep and return the raw measurements."""
     accelerators = list(accelerators) if accelerators is not None else list(setup.accelerators)
     sizes = dict(sizes) if sizes is not None else dict(ISOLATION_SIZES)
-    measurements: List[IsolationMeasurement] = []
-    for accelerator in accelerators:
-        for size_label, footprint in sizes.items():
-            for mode in modes:
-                cycles, accesses = measure_isolated(
-                    setup, accelerator, footprint, mode, repeats=repeats
-                )
-                measurements.append(
-                    IsolationMeasurement(
-                        accelerator_name=accelerator.name,
-                        size_label=size_label,
-                        footprint_bytes=footprint,
-                        mode=mode,
-                        exec_cycles=cycles,
-                        ddr_accesses=accesses,
-                    )
-                )
-    return measurements
+    grid: List[Tuple[int, AcceleratorDescriptor, str, int, CoherenceMode]] = [
+        (index, accelerator, size_label, footprint, mode)
+        for index, accelerator in enumerate(accelerators)
+        for size_label, footprint in sizes.items()
+        for mode in modes
+    ]
+    jobs = [
+        Job(
+            # The index keeps keys unique when an accelerator appears twice.
+            key=f"{index}-{accelerator.name}/{size_label}/{mode.label}",
+            fn=_isolation_job,
+            params={
+                "setup": setup,
+                "accelerator": accelerator,
+                "footprint_bytes": footprint,
+                "mode": mode,
+                "repeats": repeats,
+            },
+            seed=setup.seed,
+        )
+        for index, accelerator, size_label, footprint, mode in grid
+    ]
+    spec = SweepSpec(name=f"isolation-{setup.name}", jobs=jobs)
+    outcome = run_spec(spec, runner)
+    return [
+        IsolationMeasurement(
+            accelerator_name=accelerator.name,
+            size_label=size_label,
+            footprint_bytes=footprint,
+            mode=mode,
+            exec_cycles=float(payload["exec_cycles"]),
+            ddr_accesses=float(payload["ddr_accesses"]),
+        )
+        for (index, accelerator, size_label, footprint, mode), payload in zip(
+            grid, outcome.payloads.values()
+        )
+    ]
 
 
 def normalize_isolation(
@@ -183,6 +216,7 @@ def profile_accelerators(
     setup: ExperimentSetup,
     footprints: Optional[Sequence[int]] = None,
     modes: Sequence[CoherenceMode] = COHERENCE_MODES,
+    runner: Optional[SweepRunner] = None,
 ) -> List[ProfileEntry]:
     """Profile every accelerator of ``setup`` alone across modes and footprints."""
     if footprints is None:
@@ -198,34 +232,59 @@ def profile_accelerators(
     for descriptor in setup.accelerators:
         distinct.setdefault(descriptor.name, descriptor)
 
-    profile: List[ProfileEntry] = []
-    for descriptor in distinct.values():
-        for footprint in footprints:
-            for mode in modes:
-                if mode is CoherenceMode.FULL_COH and not any(
-                    setup.soc_config.accelerator_has_cache(i)
-                    for i in range(setup.soc_config.num_accelerator_tiles)
-                ):
-                    continue
-                cycles, accesses = measure_isolated(setup, descriptor, footprint, mode)
-                profile.append(
-                    ProfileEntry(
-                        accelerator_name=descriptor.name,
-                        mode=mode,
-                        footprint_bytes=footprint,
-                        total_cycles=cycles,
-                        ddr_accesses=accesses,
-                    )
-                )
-    return profile
+    has_private_cache = any(
+        setup.soc_config.accelerator_has_cache(i)
+        for i in range(setup.soc_config.num_accelerator_tiles)
+    )
+    grid: List[Tuple[int, AcceleratorDescriptor, int, CoherenceMode]] = [
+        (index, descriptor, footprint, mode)
+        for descriptor in distinct.values()
+        for index, footprint in enumerate(footprints)
+        for mode in modes
+        if not (mode is CoherenceMode.FULL_COH and not has_private_cache)
+    ]
+    jobs = [
+        Job(
+            # The index keeps keys unique if a footprint is repeated.
+            key=f"{descriptor.name}/{index}-{footprint}/{mode.label}",
+            fn=_isolation_job,
+            params={
+                "setup": setup,
+                "accelerator": descriptor,
+                "footprint_bytes": footprint,
+                "mode": mode,
+                "repeats": 1,
+            },
+            seed=setup.seed,
+        )
+        for index, descriptor, footprint, mode in grid
+    ]
+    spec = SweepSpec(name=f"profile-{setup.name}", jobs=jobs)
+    outcome = run_spec(spec, runner)
+    return [
+        ProfileEntry(
+            accelerator_name=descriptor.name,
+            mode=mode,
+            footprint_bytes=footprint,
+            total_cycles=float(payload["exec_cycles"]),
+            ddr_accesses=float(payload["ddr_accesses"]),
+        )
+        for (index, descriptor, footprint, mode), payload in zip(
+            grid, outcome.payloads.values()
+        )
+    ]
 
 
-def build_fixed_hetero_policy(setup: ExperimentSetup) -> FixedHeterogeneousPolicy:
+def build_fixed_hetero_policy(
+    setup: ExperimentSetup, runner: Optional[SweepRunner] = None
+) -> FixedHeterogeneousPolicy:
     """Profile ``setup`` and build its design-time fixed-heterogeneous policy."""
-    profile = profile_accelerators(setup)
+    profile = profile_accelerators(setup, runner=runner)
     return FixedHeterogeneousPolicy(choose_fixed_heterogeneous(profile))
 
 
-def fixed_hetero_modes(setup: ExperimentSetup) -> Dict[str, CoherenceMode]:
+def fixed_hetero_modes(
+    setup: ExperimentSetup, runner: Optional[SweepRunner] = None
+) -> Dict[str, CoherenceMode]:
     """Profile ``setup`` and return the per-accelerator design-time modes."""
-    return choose_fixed_heterogeneous(profile_accelerators(setup))
+    return choose_fixed_heterogeneous(profile_accelerators(setup, runner=runner))

@@ -18,6 +18,7 @@ from repro.accelerators.descriptor import AcceleratorDescriptor
 from repro.core.policies import CohmeleonPolicy
 from repro.errors import ExperimentError
 from repro.experiments.common import ExperimentSetup, build_runtime, motivation_setup
+from repro.experiments.sweep import Job, SweepRunner, SweepSpec, run_spec
 from repro.units import KB, MB
 from repro.utils.rng import SeededRNG
 from repro.utils.stats import mean
@@ -44,12 +45,54 @@ class OverheadMeasurement:
         return self.mean_overhead_cycles / self.mean_total_cycles
 
 
+def _overhead_job(params: Dict[str, object], rng) -> Dict[str, object]:
+    """Sweep job: one (footprint, accelerator) point of the overhead sweep."""
+    setup: ExperimentSetup = params["setup"]  # type: ignore[assignment]
+    accelerator: AcceleratorDescriptor = params["accelerator"]  # type: ignore[assignment]
+    footprint = int(params["footprint_bytes"])  # type: ignore[arg-type]
+    seed = int(params["seed"])  # type: ignore[arg-type]
+    invocations_per_point = int(params["invocations_per_point"])  # type: ignore[arg-type]
+
+    single = ExperimentSetup(
+        name=f"{setup.name}-overhead",
+        soc_config=setup.soc_config,
+        accelerators=[accelerator],
+        seed=setup.seed,
+    )
+    policy = CohmeleonPolicy(rng=SeededRNG(seed).spawn("overhead", accelerator.name))
+    soc, runtime = build_runtime(single, policy)
+    app = ApplicationSpec(
+        name=f"overhead-{accelerator.name}-{footprint}",
+        phases=(
+            PhaseSpec(
+                name="overhead",
+                threads=(
+                    ThreadSpec(
+                        thread_id="t0",
+                        accelerator_chain=(accelerator.name,),
+                        footprint_bytes=footprint,
+                        loop_count=invocations_per_point,
+                    ),
+                ),
+            ),
+        ),
+    )
+    result = run_application(soc, runtime, app)
+    return {
+        "totals": [invocation.total_cycles for invocation in result.invocations],
+        "overheads": [
+            invocation.policy_overhead_cycles for invocation in result.invocations
+        ],
+    }
+
+
 def run_overhead_experiment(
     setup: Optional[ExperimentSetup] = None,
     footprints: Sequence[int] = OVERHEAD_FOOTPRINTS,
     accelerators: Optional[Sequence[AcceleratorDescriptor]] = None,
     invocations_per_point: int = 3,
     seed: int = 31,
+    runner: Optional[SweepRunner] = None,
 ) -> List[OverheadMeasurement]:
     """Measure Cohmeleon's runtime overhead across workload footprints."""
     if invocations_per_point <= 0:
@@ -59,39 +102,34 @@ def run_overhead_experiment(
         list(accelerators) if accelerators is not None else list(setup.accelerators)[:4]
     )
 
+    jobs = [
+        Job(
+            # The index keeps keys unique when an accelerator appears twice.
+            key=f"{footprint}/{index}-{accelerator.name}",
+            fn=_overhead_job,
+            params={
+                "setup": setup,
+                "accelerator": accelerator,
+                "footprint_bytes": footprint,
+                "seed": seed,
+                "invocations_per_point": invocations_per_point,
+            },
+            seed=seed,
+        )
+        for footprint in footprints
+        for index, accelerator in enumerate(accelerators)
+    ]
+    spec = SweepSpec(name=f"overhead-{setup.name}", jobs=jobs)
+    outcome = run_spec(spec, runner)
+
     measurements: List[OverheadMeasurement] = []
     for footprint in footprints:
         totals: List[float] = []
         overheads: List[float] = []
-        for accelerator in accelerators:
-            single = ExperimentSetup(
-                name=f"{setup.name}-overhead",
-                soc_config=setup.soc_config,
-                accelerators=[accelerator],
-                seed=setup.seed,
-            )
-            policy = CohmeleonPolicy(rng=SeededRNG(seed).spawn("overhead", accelerator.name))
-            soc, runtime = build_runtime(single, policy)
-            app = ApplicationSpec(
-                name=f"overhead-{accelerator.name}-{footprint}",
-                phases=(
-                    PhaseSpec(
-                        name="overhead",
-                        threads=(
-                            ThreadSpec(
-                                thread_id="t0",
-                                accelerator_chain=(accelerator.name,),
-                                footprint_bytes=footprint,
-                                loop_count=invocations_per_point,
-                            ),
-                        ),
-                    ),
-                ),
-            )
-            result = run_application(soc, runtime, app)
-            for invocation in result.invocations:
-                totals.append(invocation.total_cycles)
-                overheads.append(invocation.policy_overhead_cycles)
+        for index, accelerator in enumerate(accelerators):
+            payload = outcome[f"{footprint}/{index}-{accelerator.name}"]
+            totals.extend(float(value) for value in payload["totals"])
+            overheads.extend(float(value) for value in payload["overheads"])
         measurements.append(
             OverheadMeasurement(
                 footprint_bytes=footprint,

@@ -18,6 +18,7 @@ from repro.accelerators.library import accelerator_by_name
 from repro.core.policies import FixedPolicy
 from repro.errors import ExperimentError
 from repro.experiments.common import ExperimentSetup, build_runtime, motivation_setup
+from repro.experiments.sweep import Job, SweepRunner, SweepSpec, run_spec
 from repro.soc.coherence import COHERENCE_MODES, CoherenceMode
 from repro.units import KB
 from repro.utils.stats import mean
@@ -87,42 +88,79 @@ def _parallel_app(count: int, footprint: int, invocations_per_thread: int) -> Ap
     return ApplicationSpec(name=f"parallel-{count}", phases=(phase,))
 
 
+def _parallel_job(params: Dict[str, object], rng) -> Dict[str, object]:
+    """Sweep job: one (mode, concurrency) point of the Figure 3 grid."""
+    setup: ExperimentSetup = params["setup"]  # type: ignore[assignment]
+    mode: CoherenceMode = params["mode"]  # type: ignore[assignment]
+    count = int(params["count"])  # type: ignore[arg-type]
+    soc, runtime = build_runtime(setup, FixedPolicy(mode))
+    app = _parallel_app(
+        count,
+        int(params["footprint_bytes"]),  # type: ignore[arg-type]
+        int(params["invocations_per_thread"]),  # type: ignore[arg-type]
+    )
+    result = run_application(soc, runtime, app)
+
+    # Average per-invocation performance per accelerator type, then across
+    # types — the paper's aggregation.
+    per_type_exec: Dict[str, List[float]] = {}
+    per_type_ddr: Dict[str, List[float]] = {}
+    for invocation in result.invocations:
+        per_type_exec.setdefault(invocation.accelerator_name, []).append(
+            invocation.total_cycles
+        )
+        per_type_ddr.setdefault(invocation.accelerator_name, []).append(
+            invocation.ddr_accesses
+        )
+    return {
+        "exec_cycles": mean([mean(v) for v in per_type_exec.values()]),
+        "ddr_accesses": mean([mean(v) for v in per_type_ddr.values()]),
+    }
+
+
 def run_parallel_experiment(
     setup: Optional[ExperimentSetup] = None,
     counts: Sequence[int] = PARALLEL_COUNTS,
     modes: Sequence[CoherenceMode] = COHERENCE_MODES,
     footprint_bytes: int = PARALLEL_FOOTPRINT_BYTES,
     invocations_per_thread: int = 4,
+    runner: Optional[SweepRunner] = None,
 ) -> List[ParallelMeasurement]:
     """Run the Figure 3 sweep and return raw per-point measurements."""
     setup = setup if setup is not None else parallel_setup()
-    measurements: List[ParallelMeasurement] = []
-    for mode in modes:
-        for count in counts:
-            soc, runtime = build_runtime(setup, FixedPolicy(mode))
-            app = _parallel_app(count, footprint_bytes, invocations_per_thread)
-            result = run_application(soc, runtime, app)
-
-            # Average per-invocation performance per accelerator type, then
-            # across types — the paper's aggregation.
-            per_type_exec: Dict[str, List[float]] = {}
-            per_type_ddr: Dict[str, List[float]] = {}
-            for invocation in result.invocations:
-                per_type_exec.setdefault(invocation.accelerator_name, []).append(
-                    invocation.total_cycles
-                )
-                per_type_ddr.setdefault(invocation.accelerator_name, []).append(
-                    invocation.ddr_accesses
-                )
-            measurements.append(
-                ParallelMeasurement(
-                    mode=mode,
-                    active_accelerators=count,
-                    exec_cycles=mean([mean(v) for v in per_type_exec.values()]),
-                    ddr_accesses=mean([mean(v) for v in per_type_ddr.values()]),
-                )
-            )
-    return measurements
+    grid = [
+        (index, mode, count)
+        for index, (mode, count) in enumerate(
+            (mode, count) for mode in modes for count in counts
+        )
+    ]
+    jobs = [
+        Job(
+            # The index keeps keys unique if an axis value is repeated.
+            key=f"{index}-{mode.label}/{count}",
+            fn=_parallel_job,
+            params={
+                "setup": setup,
+                "mode": mode,
+                "count": count,
+                "footprint_bytes": footprint_bytes,
+                "invocations_per_thread": invocations_per_thread,
+            },
+            seed=setup.seed,
+        )
+        for index, mode, count in grid
+    ]
+    spec = SweepSpec(name=f"parallel-{setup.name}", jobs=jobs)
+    outcome = run_spec(spec, runner)
+    return [
+        ParallelMeasurement(
+            mode=mode,
+            active_accelerators=count,
+            exec_cycles=float(payload["exec_cycles"]),
+            ddr_accesses=float(payload["ddr_accesses"]),
+        )
+        for (index, mode, count), payload in zip(grid, outcome.payloads.values())
+    ]
 
 
 def normalize_parallel(

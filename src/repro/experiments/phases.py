@@ -24,6 +24,7 @@ from repro.experiments.common import (
     traffic_setup,
 )
 from repro.experiments.isolation import fixed_hetero_modes
+from repro.experiments.sweep import SweepRunner
 from repro.utils.rng import SeededRNG
 from repro.workloads.generator import ApplicationGenerator, GeneratorConfig
 from repro.workloads.sizes import WorkloadSizeClass, footprint_for_class
@@ -121,6 +122,7 @@ def run_phase_analysis(
     training_iterations: int = 10,
     loops_per_thread: int = 2,
     seed: int = 7,
+    runner: Optional[SweepRunner] = None,
 ) -> PhaseAnalysisResult:
     """Run the Figure 5 experiment and return the normalised table."""
     setup = setup if setup is not None else traffic_setup("SoC0", seed=seed)
@@ -128,7 +130,9 @@ def run_phase_analysis(
     train_app = training_application(setup, seed=seed + 1)
 
     hetero_modes = (
-        fixed_hetero_modes(setup) if "fixed-hetero" in policy_kinds else None
+        fixed_hetero_modes(setup, runner=runner)
+        if "fixed-hetero" in policy_kinds
+        else None
     )
     policies = make_standard_policies(policy_kinds, seed, fixed_hetero_modes=hetero_modes)
     evaluations = evaluate_policies(
@@ -137,6 +141,7 @@ def run_phase_analysis(
         test_app,
         training_app=train_app,
         training_iterations=training_iterations,
+        runner=runner,
     )
     if REFERENCE_POLICY not in evaluations:
         raise ExperimentError(

@@ -29,6 +29,7 @@ from repro.experiments.common import (
 )
 from repro.experiments.isolation import fixed_hetero_modes
 from repro.experiments.phases import figure5_application, training_application
+from repro.experiments.sweep import SweepRunner
 from repro.utils.rng import SeededRNG
 from repro.utils.stats import geometric_mean
 from repro.workloads.spec import ApplicationSpec
@@ -125,6 +126,7 @@ def run_reward_dse(
     ),
     test_app: Optional[ApplicationSpec] = None,
     seed: int = 13,
+    runner: Optional[SweepRunner] = None,
 ) -> RewardDseResult:
     """Run the Figure 6 design-space exploration."""
     if not weightings:
@@ -133,7 +135,11 @@ def run_reward_dse(
     test_app = test_app if test_app is not None else figure5_application(setup, seed=seed)
     train_app = training_application(setup, seed=seed + 1)
 
-    hetero = fixed_hetero_modes(setup) if "fixed-hetero" in baseline_kinds else None
+    hetero = (
+        fixed_hetero_modes(setup, runner=runner)
+        if "fixed-hetero" in baseline_kinds
+        else None
+    )
 
     # Baselines plus one Cohmeleon policy per reward weighting.
     policies = make_standard_policies(baseline_kinds, seed, fixed_hetero_modes=hetero)
@@ -150,6 +156,7 @@ def run_reward_dse(
         test_app,
         training_app=train_app,
         training_iterations=training_iterations,
+        runner=runner,
     )
     reference = evaluations[REFERENCE_POLICY]
 

@@ -28,6 +28,7 @@ from repro.experiments.common import (
     traffic_setup,
 )
 from repro.experiments.isolation import fixed_hetero_modes
+from repro.experiments.sweep import Job, SweepRunner, SweepSpec, run_spec
 from repro.soc.config import soc_preset
 from repro.utils.stats import geometric_mean
 from repro.workloads.case_studies import case_study_accelerators, case_study_application
@@ -126,27 +127,64 @@ def _geomean_normalised(values: Dict[str, float], reference: Dict[str, float]) -
     return geometric_mean(ratios) if ratios else 0.0
 
 
+def _soc_label_job(params: Dict[str, object], rng) -> Dict[str, object]:
+    """Sweep job: the full policy comparison on one Figure 9 SoC label."""
+    label = str(params["label"])
+    seed = int(params["seed"])  # type: ignore[arg-type]
+    policy_kinds = tuple(str(kind) for kind in params["policy_kinds"])  # type: ignore[arg-type]
+    training_iterations = int(params["training_iterations"])  # type: ignore[arg-type]
+
+    setup = figure9_setup(label, seed=seed)
+    train_app, test_app = figure9_applications(label, setup, seed=seed)
+    hetero = fixed_hetero_modes(setup) if "fixed-hetero" in policy_kinds else None
+    policies = make_standard_policies(policy_kinds, seed, fixed_hetero_modes=hetero)
+    evaluations = evaluate_policies(
+        setup,
+        policies,
+        test_app,
+        training_app=train_app,
+        training_iterations=training_iterations,
+    )
+    return {
+        "evaluations": {name: ev.to_dict() for name, ev in evaluations.items()}
+    }
+
+
 def run_soc_comparison(
     labels: Sequence[str] = FIGURE9_SOC_LABELS,
     policy_kinds: Sequence[str] = STANDARD_POLICY_KINDS,
     training_iterations: int = 10,
     seed: int = 29,
+    runner: Optional[SweepRunner] = None,
 ) -> SocComparisonResult:
-    """Run the Figure 9 sweep over SoC configurations."""
+    """Run the Figure 9 sweep over SoC configurations (one job per SoC)."""
+    jobs = [
+        Job(
+            key=label,
+            fn=_soc_label_job,
+            params={
+                "label": label,
+                "seed": seed,
+                "policy_kinds": tuple(policy_kinds),
+                "training_iterations": training_iterations,
+            },
+            seed=seed,
+        )
+        for label in labels
+    ]
+    spec = SweepSpec(name="socs", jobs=jobs)
+    outcome = run_spec(spec, runner)
+
     points: List[SocComparisonPoint] = []
     evaluations_per_soc: Dict[str, Dict[str, PolicyEvaluation]] = {}
     for label in labels:
-        setup = figure9_setup(label, seed=seed)
-        train_app, test_app = figure9_applications(label, setup, seed=seed)
-        hetero = fixed_hetero_modes(setup) if "fixed-hetero" in policy_kinds else None
-        policies = make_standard_policies(policy_kinds, seed, fixed_hetero_modes=hetero)
-        evaluations = evaluate_policies(
-            setup,
-            policies,
-            test_app,
-            training_app=train_app,
-            training_iterations=training_iterations,
-        )
+        payload = outcome[label]
+        # Rebuild in policy_kinds order: the cache stores JSON objects with
+        # sorted keys, so the payload's own ordering is not meaningful.
+        evaluations = {
+            kind: PolicyEvaluation.from_dict(payload["evaluations"][kind])
+            for kind in policy_kinds
+        }
         evaluations_per_soc[label] = evaluations
         reference = evaluations[REFERENCE_POLICY]
         for policy_name, evaluation in evaluations.items():

@@ -1,0 +1,34 @@
+"""Parallel sweep orchestration for the experiment harnesses.
+
+The subsystem has three layers plus a CLI:
+
+* :mod:`repro.experiments.sweep.sweep` — declarative :class:`SweepSpec` /
+  :class:`Job` grids with stable fingerprints and per-job RNG derivation;
+* :mod:`repro.experiments.sweep.pool` — :class:`SweepRunner`, a
+  ``multiprocessing`` executor with worker autodetection and a serial
+  fallback;
+* :mod:`repro.experiments.sweep.cache` — :class:`ResultCache`, an on-disk
+  JSON store keyed by job fingerprints;
+* :mod:`repro.experiments.sweep.cli` — ``python -m repro.experiments`` to
+  run any figure by name with ``--workers`` / ``--cache-dir`` / ``--no-cache``.
+"""
+
+from repro.experiments.sweep.cache import ResultCache
+from repro.experiments.sweep.pool import (
+    SweepResult,
+    SweepRunner,
+    autodetect_workers,
+    run_spec,
+)
+from repro.experiments.sweep.sweep import Job, SweepSpec, canonicalize
+
+__all__ = [
+    "Job",
+    "ResultCache",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "autodetect_workers",
+    "canonicalize",
+    "run_spec",
+]

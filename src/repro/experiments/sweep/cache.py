@@ -1,0 +1,95 @@
+"""On-disk JSON result cache keyed by job fingerprints.
+
+Layout: ``<cache_dir>/<fp[:2]>/<fingerprint>.json`` where each file holds
+
+.. code-block:: json
+
+    {"fingerprint": "...", "key": "...", "payload": {...}}
+
+Payloads are serialized with sorted keys and fixed separators, so a cache
+hit returns a payload byte-identical to the one originally stored.  Writes
+are atomic (temp file + ``os.replace``), which makes the cache safe to share
+between a parent process and the sweep workers, and between repeated CLI
+invocations.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from repro.errors import SweepError
+
+
+def _dump_canonical(document: Dict[str, object]) -> str:
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+class ResultCache:
+    """Persistent store of job payloads, addressed by fingerprint."""
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def path_for(self, fingerprint: str) -> Path:
+        """Filesystem location of the entry for ``fingerprint``."""
+        if not fingerprint:
+            raise SweepError("empty fingerprint")
+        return self.cache_dir / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        """Return the cached payload, or ``None`` on a miss.
+
+        A corrupt or unreadable entry is treated as a miss: the job simply
+        re-executes and overwrites it.
+        """
+        path = self.path_for(fingerprint)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        payload = entry.get("payload") if isinstance(entry, dict) else None
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, fingerprint: str, key: str, payload: Dict[str, object]) -> None:
+        """Persist ``payload`` for ``fingerprint`` atomically."""
+        try:
+            text = _dump_canonical(
+                {"fingerprint": fingerprint, "key": key, "payload": payload}
+            )
+        except (TypeError, ValueError) as exc:
+            raise SweepError(
+                f"job {key}: payload is not JSON-serializable: {exc}"
+            ) from exc
+        path = self.path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(text)
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.path_for(fingerprint).is_file()
+
+    def fingerprints(self) -> Iterator[str]:
+        """Iterate over the fingerprints currently stored."""
+        for path in sorted(self.cache_dir.glob("*/*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.fingerprints())
+
+    def clear(self) -> int:
+        """Delete every entry; return how many were removed."""
+        removed = 0
+        for path in list(self.cache_dir.glob("*/*.json")):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultCache({str(self.cache_dir)!r})"

@@ -1,0 +1,249 @@
+"""Command-line entry point: run any figure harness through the sweep runner.
+
+Examples
+--------
+::
+
+    python -m repro.experiments socs --workers 8
+    python -m repro.experiments isolation --workers 4 --cache-dir .sweep-cache
+    python -m repro.experiments phases --no-cache --full
+
+Every figure runs at a reduced ("quick") scale by default so a laptop run
+finishes in minutes; ``--full`` switches to the paper-scale grids.  Results
+are cached on disk (``--cache-dir``, default ``.sweep-cache``) keyed by job
+fingerprints, so re-running a figure re-simulates only the jobs whose
+configuration or seed changed; ``--no-cache`` disables the cache entirely.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional, TextIO
+
+from repro.experiments.sweep.cache import ResultCache
+from repro.experiments.sweep.pool import SweepRunner, autodetect_workers
+
+#: Figure name -> (description, runner function).  Each runner function
+#: takes the parsed arguments plus a SweepRunner and returns a report string.
+FigureRunner = Callable[[argparse.Namespace, SweepRunner], str]
+
+
+def _fig_isolation(args: argparse.Namespace, runner: SweepRunner) -> str:
+    from repro.accelerators.library import accelerator_by_name
+    from repro.experiments.common import motivation_setup
+    from repro.experiments.isolation import run_isolation_experiment
+    from repro.experiments.report import report_isolation
+    from repro.units import KB, MB
+
+    setup = motivation_setup(line_bytes=256)
+    if args.full:
+        accelerators, sizes = None, None
+    else:
+        accelerators = [accelerator_by_name(name) for name in ("FFT", "Sort", "SPMV")]
+        sizes = {"Small": 16 * KB, "Medium": 256 * KB, "Large": 2 * MB}
+    measurements = run_isolation_experiment(
+        setup, accelerators=accelerators, sizes=sizes, runner=runner
+    )
+    return report_isolation(measurements)
+
+
+def _fig_parallel(args: argparse.Namespace, runner: SweepRunner) -> str:
+    from repro.experiments.parallel import parallel_setup, run_parallel_experiment
+    from repro.experiments.report import report_parallel
+
+    counts = (1, 4, 8, 12) if args.full else (1, 4, 12)
+    invocations = 4 if args.full else 2
+    measurements = run_parallel_experiment(
+        parallel_setup(line_bytes=256),
+        counts=counts,
+        invocations_per_thread=invocations,
+        runner=runner,
+    )
+    return report_parallel(measurements)
+
+
+def _fig_phases(args: argparse.Namespace, runner: SweepRunner) -> str:
+    from repro.experiments.phases import run_phase_analysis
+    from repro.experiments.report import report_phases
+
+    result = run_phase_analysis(
+        training_iterations=10 if args.full else 3,
+        seed=args.seed if args.seed is not None else 7,
+        runner=runner,
+    )
+    return report_phases(result)
+
+
+def _fig_reward_dse(args: argparse.Namespace, runner: SweepRunner) -> str:
+    from repro.experiments.report import report_reward_dse
+    from repro.experiments.reward_dse import REWARD_WEIGHTINGS, run_reward_dse
+
+    weightings = REWARD_WEIGHTINGS if args.full else REWARD_WEIGHTINGS[::3]
+    result = run_reward_dse(
+        weightings=weightings,
+        training_iterations=10 if args.full else 3,
+        seed=args.seed if args.seed is not None else 13,
+        runner=runner,
+    )
+    return report_reward_dse(result)
+
+
+def _fig_breakdown(args: argparse.Namespace, runner: SweepRunner) -> str:
+    from repro.experiments.breakdown import run_breakdown_experiment
+    from repro.experiments.report import report_breakdown
+
+    result = run_breakdown_experiment(
+        training_iterations=10 if args.full else 3,
+        seed=args.seed if args.seed is not None else 17,
+        runner=runner,
+    )
+    return report_breakdown(result)
+
+
+def _fig_training(args: argparse.Namespace, runner: SweepRunner) -> str:
+    from repro.experiments.report import report_training
+    from repro.experiments.training import run_training_study
+
+    budgets = (10, 30, 50) if args.full else (5, 10)
+    result = run_training_study(
+        budgets=budgets,
+        seed=args.seed if args.seed is not None else 23,
+        runner=runner,
+    )
+    return report_training(result)
+
+
+def _fig_socs(args: argparse.Namespace, runner: SweepRunner) -> str:
+    from repro.experiments.report import report_headline, report_socs
+    from repro.experiments.socs import FIGURE9_SOC_LABELS, run_soc_comparison
+    from repro.experiments.summary import summarize_headline
+
+    labels = (
+        FIGURE9_SOC_LABELS
+        if args.full
+        else ("SoC0-Streaming", "SoC1", "SoC2", "SoC4", "SoC6")
+    )
+    comparison = run_soc_comparison(
+        labels=labels,
+        training_iterations=10 if args.full else 4,
+        seed=args.seed if args.seed is not None else 29,
+        runner=runner,
+    )
+    summary = summarize_headline(comparison)
+    return report_socs(comparison) + "\n\n" + report_headline(summary)
+
+
+def _fig_overhead(args: argparse.Namespace, runner: SweepRunner) -> str:
+    from repro.experiments.overhead import OVERHEAD_FOOTPRINTS, run_overhead_experiment
+    from repro.experiments.report import report_overhead
+
+    footprints = OVERHEAD_FOOTPRINTS if args.full else OVERHEAD_FOOTPRINTS[::2]
+    measurements = run_overhead_experiment(
+        footprints=footprints,
+        invocations_per_point=3 if args.full else 2,
+        seed=args.seed if args.seed is not None else 31,
+        runner=runner,
+    )
+    return report_overhead(measurements)
+
+
+FIGURES: Dict[str, FigureRunner] = {
+    "isolation": _fig_isolation,
+    "parallel": _fig_parallel,
+    "phases": _fig_phases,
+    "reward_dse": _fig_reward_dse,
+    "breakdown": _fig_breakdown,
+    "training": _fig_training,
+    "socs": _fig_socs,
+    "overhead": _fig_overhead,
+}
+
+
+class _StatsRunner(SweepRunner):
+    """A SweepRunner that accumulates per-spec execution statistics."""
+
+    def __init__(self, workers: Optional[int], cache: Optional[ResultCache]) -> None:
+        super().__init__(workers=workers, cache=cache)
+        self.total_jobs = 0
+        self.total_hits = 0
+        self.total_executed = 0
+        self.max_workers_used = 1
+
+    def run(self, spec):
+        result = super().run(spec)
+        self.total_jobs += len(result)
+        self.total_hits += result.cache_hits
+        self.total_executed += result.executed
+        self.max_workers_used = max(self.max_workers_used, result.workers_used)
+        return result
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run a figure harness through the parallel sweep runner.",
+    )
+    parser.add_argument("figure", choices=sorted(FIGURES), help="figure to regenerate")
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: one per CPU; 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".sweep-cache",
+        metavar="DIR",
+        help="on-disk result cache location (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache entirely",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the figure's default seed"
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the paper-scale grid instead of the reduced quick grid",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, stream: Optional[TextIO] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = stream if stream is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    workers = args.workers if args.workers is not None else autodetect_workers()
+    runner = _StatsRunner(workers=workers, cache=cache)
+
+    started = time.perf_counter()
+    report = FIGURES[args.figure](args, runner)
+    elapsed = time.perf_counter() - started
+
+    print(report, file=out)
+    cache_note = "disabled" if cache is None else str(cache.cache_dir)
+    # workers_used can fall short of the request after a serial fallback
+    # (no pool support) or when every job was served from the cache.
+    print(
+        f"\n[sweep] figure={args.figure} jobs={runner.total_jobs} "
+        f"executed={runner.total_executed} cache_hits={runner.total_hits} "
+        f"workers={workers} workers_used={runner.max_workers_used} "
+        f"cache={cache_note} elapsed={elapsed:.1f}s",
+        file=out,
+    )
+    return 0

@@ -1,0 +1,154 @@
+"""Parallel sweep execution with a serial fallback.
+
+:class:`SweepRunner` executes a :class:`~repro.experiments.sweep.sweep.SweepSpec`
+either in-process (``workers=1``, the default and the fallback) or on a
+``multiprocessing`` pool.  Because every job derives its randomness from its
+own fingerprint (see :mod:`repro.experiments.sweep.sweep`), the results are
+identical regardless of worker count or completion order; the runner
+re-orders payloads into grid order before returning them.
+
+Cache lookups and writes happen in the parent process only, so the cache
+never sees concurrent writers from one run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import warnings
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import SweepError
+from repro.experiments.sweep.cache import ResultCache
+from repro.experiments.sweep.sweep import Job, SweepSpec
+
+
+def autodetect_workers() -> int:
+    """Number of workers to use when none is specified: one per CPU."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _execute_job(job: Job) -> Tuple[str, Dict[str, object]]:
+    """Worker entry point: run one job, return ``(key, payload)``."""
+    return job.key, job.execute()
+
+
+@dataclass
+class SweepResult:
+    """Payloads of one sweep run, in grid order, plus execution statistics."""
+
+    spec_name: str
+    payloads: "OrderedDict[str, Dict[str, object]]" = field(default_factory=OrderedDict)
+    cache_hits: int = 0
+    executed: int = 0
+    workers_used: int = 1
+
+    def __getitem__(self, key: str) -> Dict[str, object]:
+        return self.payloads[key]
+
+    def __len__(self) -> int:
+        return len(self.payloads)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.payloads)
+
+    def items(self):
+        """``(key, payload)`` pairs in grid order."""
+        return self.payloads.items()
+
+
+def run_spec(spec: SweepSpec, runner: Optional["SweepRunner"] = None) -> SweepResult:
+    """Run ``spec`` on ``runner``, defaulting to a serial in-process runner.
+
+    This is the one idiom every experiment harness uses to dispatch its
+    grid: ``runner=None`` (the harness default) means serial execution with
+    no cache, which is also safe inside sweep workers (no nested pools).
+    """
+    return (runner if runner is not None else SweepRunner(workers=1)).run(spec)
+
+
+class SweepRunner:
+    """Executes sweep specs, optionally in parallel and through a cache.
+
+    ``workers=None`` autodetects one worker per CPU; ``workers=1`` runs
+    serially in-process.  When a pool cannot be created (no ``fork``/
+    semaphore support, or the runner is already inside a daemonic worker),
+    the runner falls back to serial execution with a warning — results are
+    identical either way.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = 1,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise SweepError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    def run(self, spec: SweepSpec) -> SweepResult:
+        """Execute every job of ``spec`` and return payloads in grid order."""
+        payloads: Dict[str, Dict[str, object]] = {}
+        cache_hits = 0
+        pending: List[Job] = []
+        for job in spec.jobs:
+            if self.cache is not None:
+                cached = self.cache.get(job.fingerprint())
+                if cached is not None:
+                    payloads[job.key] = cached
+                    cache_hits += 1
+                    continue
+            pending.append(job)
+
+        workers_used = 1
+        if pending:
+            workers = self.workers if self.workers is not None else autodetect_workers()
+            workers = max(1, min(workers, len(pending)))
+            executed: Optional[Dict[str, Dict[str, object]]] = None
+            if workers > 1:
+                executed = self._run_pool(pending, workers)
+                if executed is not None:
+                    workers_used = workers
+            if executed is None:
+                executed = dict(_execute_job(job) for job in pending)
+            for job in pending:
+                payload = executed[job.key]
+                payloads[job.key] = payload
+                if self.cache is not None:
+                    self.cache.put(job.fingerprint(), job.key, payload)
+
+        ordered: "OrderedDict[str, Dict[str, object]]" = OrderedDict(
+            (job.key, payloads[job.key]) for job in spec.jobs
+        )
+        return SweepResult(
+            spec_name=spec.name,
+            payloads=ordered,
+            cache_hits=cache_hits,
+            executed=len(pending),
+            workers_used=workers_used,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_pool(
+        self, jobs: List[Job], workers: int
+    ) -> Optional[Dict[str, Dict[str, object]]]:
+        """Run ``jobs`` on a process pool; ``None`` if no pool is available."""
+        try:
+            pool = multiprocessing.get_context().Pool(processes=workers)
+        except Exception as exc:  # daemonic nesting, missing sem_open, ...
+            warnings.warn(
+                f"sweep: cannot create a {workers}-worker pool ({exc}); "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        try:
+            with pool:
+                return dict(pool.imap_unordered(_execute_job, jobs))
+        finally:
+            pool.join()

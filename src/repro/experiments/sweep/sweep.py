@@ -1,0 +1,235 @@
+"""Declarative sweep grids: jobs, fingerprints, and the seeding contract.
+
+A :class:`Job` is one independently executable cell of an experiment grid —
+for example one ``(accelerator, size, mode)`` point of the Figure 2 sweep or
+one ``(SoC, policy)`` evaluation of Figure 9.  Jobs carry a module-level
+callable plus a picklable parameter mapping, so they can cross process
+boundaries, and every job has a stable *fingerprint*: a SHA-256 digest of
+the callable's dotted path, a canonical rendering of the parameters, and
+the job seed.
+
+The fingerprint is the backbone of two guarantees:
+
+* **Determinism** — a job's RNG stream is derived as
+  ``SeededRNG(seed).spawn("sweep-job", fingerprint)``, so the randomness a
+  job sees depends only on *what* the job is, never on which worker runs it
+  or in which order.  Running a :class:`SweepSpec` serially, with N
+  workers, or with its jobs shuffled produces bit-identical results.
+* **Caching** — the on-disk result cache (:mod:`repro.experiments.sweep.cache`)
+  is keyed by the fingerprint, so a payload is reused only when the
+  function, every parameter, and the seed all match.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field, fields, is_dataclass
+from enum import Enum
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SweepError
+from repro.utils.rng import SeededRNG
+
+#: Signature every job function follows: ``fn(params, rng) -> payload`` where
+#: the payload is a JSON-serializable dictionary.
+JobFunction = Callable[[Dict[str, object], SeededRNG], Dict[str, object]]
+
+
+# ----------------------------------------------------------------------
+# Canonical parameter rendering
+# ----------------------------------------------------------------------
+
+def canonicalize(value: object) -> object:
+    """Render ``value`` as a JSON-able structure stable across runs.
+
+    Handles the types that appear in experiment parameters: primitives,
+    enums, sequences, mappings, dataclasses (recursed field by field, so
+    their reprs never leak memory addresses), :class:`SeededRNG` (identified
+    by its seed), numpy arrays, callables (by dotted path), and plain
+    objects (by class name plus canonicalized ``vars()``).  Anything else
+    raises :class:`SweepError` rather than silently producing an unstable
+    fingerprint.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # repr() round-trips floats exactly and is stable across platforms.
+        return {"__float__": repr(value)}
+    if isinstance(value, Enum):
+        return {"__enum__": f"{type(value).__name__}.{value.name}"}
+    if isinstance(value, SeededRNG):
+        # The construction seed alone is not enough: an RNG that has already
+        # been drawn from must not fingerprint like a fresh one, or a cached
+        # payload could be reused for a job that would execute differently.
+        state_digest = hashlib.sha256(repr(value.state()).encode("utf-8")).hexdigest()
+        return {"__rng__": value.seed, "state": state_digest}
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    if is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__qualname__,
+            "fields": {
+                f.name: canonicalize(getattr(value, f.name)) for f in fields(value)
+            },
+        }
+    if isinstance(value, Mapping):
+        items = [
+            [canonicalize(key), canonicalize(item)] for key, item in value.items()
+        ]
+        items.sort(key=lambda pair: json.dumps(pair[0], sort_keys=True))
+        return {"__mapping__": items}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        rendered = [canonicalize(item) for item in value]
+        rendered.sort(key=lambda item: json.dumps(item, sort_keys=True))
+        return {"__set__": rendered}
+    try:  # numpy arrays/scalars (the Q-table stores its values in one)
+        import numpy as np
+
+        if isinstance(value, np.ndarray):
+            return {"__ndarray__": canonicalize(value.tolist())}
+        if isinstance(value, np.generic):
+            return canonicalize(value.item())
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        pass
+    if callable(value) and hasattr(value, "__qualname__"):
+        return {"__callable__": f"{value.__module__}.{value.__qualname__}"}
+    state = getattr(value, "__dict__", None)
+    if state is not None:
+        return {
+            "__object__": type(value).__qualname__,
+            "state": canonicalize(dict(state)),
+        }
+    raise SweepError(
+        f"cannot canonicalize {type(value).__qualname__!r} for a job fingerprint; "
+        "use primitives, dataclasses, enums, or objects with a __dict__"
+    )
+
+
+def _axis_label(value: object) -> str:
+    """A short human-readable label for one axis value of a grid."""
+    label = getattr(value, "label", None)
+    if isinstance(label, str):
+        return label
+    if isinstance(value, Enum):
+        return str(value.value) if isinstance(value.value, str) else value.name
+    name = getattr(value, "name", None)
+    if isinstance(name, str):
+        return name
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# Jobs and sweep specifications
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Job:
+    """One independently executable cell of a sweep grid."""
+
+    key: str
+    fn: JobFunction
+    params: Mapping[str, object] = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise SweepError("job key must be non-empty")
+        if not callable(self.fn):
+            raise SweepError(f"job {self.key}: fn must be callable")
+        module = getattr(self.fn, "__module__", None)
+        qualname = getattr(self.fn, "__qualname__", "")
+        if module is None or "<locals>" in qualname or "<lambda>" in qualname:
+            raise SweepError(
+                f"job {self.key}: fn must be a module-level function so it can "
+                "be pickled into worker processes"
+            )
+
+    def fingerprint(self) -> str:
+        """Stable identity of this job: function, parameters, and seed.
+
+        Memoized: canonicalizing a large parameter graph is not free, and
+        the fingerprint is needed for the cache lookup, the cache write,
+        and the RNG derivation.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            document = {
+                "fn": f"{self.fn.__module__}.{self.fn.__qualname__}",
+                "params": canonicalize(dict(self.params)),
+                "seed": self.seed,
+            }
+            text = json.dumps(document, sort_keys=True, separators=(",", ":"))
+            cached = hashlib.sha256(text.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
+    def derive_rng(self) -> SeededRNG:
+        """The job's private RNG stream (the sweep seeding contract)."""
+        return SeededRNG(self.seed).spawn("sweep-job", self.fingerprint())
+
+    def execute(self) -> Dict[str, object]:
+        """Run the job in the current process and return its payload.
+
+        The fn receives a deep copy of the params, so a fn that mutates its
+        inputs (training a policy, say) behaves identically whether the job
+        runs in-process or was pickled into a worker, and a spec can be run
+        repeatedly with identical results.
+        """
+        return self.fn(copy.deepcopy(dict(self.params)), self.derive_rng())
+
+
+@dataclass
+class SweepSpec:
+    """An ordered collection of jobs forming one experiment grid."""
+
+    name: str
+    jobs: List[Job] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        keys = [job.key for job in self.jobs]
+        if len(keys) != len(set(keys)):
+            duplicates = sorted({key for key in keys if keys.count(key) > 1})
+            raise SweepError(f"sweep {self.name}: duplicate job keys {duplicates}")
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def keys(self) -> List[str]:
+        """Job keys in grid order."""
+        return [job.key for job in self.jobs]
+
+    def shuffled(self, rng: Optional[SeededRNG] = None) -> "SweepSpec":
+        """A copy of this spec with its jobs reordered (results must not change)."""
+        jobs = list(self.jobs)
+        (rng if rng is not None else SeededRNG(0)).shuffle(jobs)
+        return SweepSpec(name=self.name, jobs=jobs)
+
+    @classmethod
+    def from_grid(
+        cls,
+        name: str,
+        fn: JobFunction,
+        axes: Mapping[str, Sequence[object]],
+        common_params: Optional[Mapping[str, object]] = None,
+        seed: int = 0,
+    ) -> "SweepSpec":
+        """Build a spec from the cartesian product of ``axes``.
+
+        Every combination becomes one job whose params are ``common_params``
+        plus the axis values, keyed ``"label0/label1/..."`` in axis order.
+        """
+        if not axes:
+            raise SweepError(f"sweep {name}: at least one axis is required")
+        axis_names = list(axes)
+        jobs: List[Job] = []
+        for combo in itertools.product(*(axes[axis] for axis in axis_names)):
+            params: Dict[str, object] = dict(common_params or {})
+            params.update(zip(axis_names, combo))
+            key = "/".join(_axis_label(value) for value in combo)
+            jobs.append(Job(key=key, fn=fn, params=params, seed=seed))
+        return cls(name=name, jobs=jobs)

@@ -24,6 +24,7 @@ from repro.experiments.common import (
     traffic_setup,
 )
 from repro.experiments.phases import figure5_application, training_application
+from repro.experiments.sweep import Job, SweepRunner, SweepSpec, run_spec
 from repro.soc.coherence import CoherenceMode
 from repro.utils.rng import SeededRNG
 from repro.utils.stats import geometric_mean
@@ -118,6 +119,42 @@ def _evaluate_frozen(
     )
 
 
+def _training_budget_job(params: Dict[str, object], rng) -> Dict[str, object]:
+    """Sweep job: one training-budget curve of the Figure 8 study."""
+    setup: ExperimentSetup = params["setup"]  # type: ignore[assignment]
+    budget = int(params["budget"])  # type: ignore[arg-type]
+    seed = int(params["seed"])  # type: ignore[arg-type]
+    test_app: ApplicationSpec = params["test_app"]  # type: ignore[assignment]
+    train_app: ApplicationSpec = params["train_app"]  # type: ignore[assignment]
+    reference_exec = {str(k): float(v) for k, v in dict(params["reference_exec"]).items()}  # type: ignore[arg-type]
+    reference_mem = {str(k): float(v) for k, v in dict(params["reference_mem"]).items()}  # type: ignore[arg-type]
+
+    policy = CohmeleonPolicy(
+        weights=params["weights"],  # type: ignore[arg-type]
+        rng=SeededRNG(seed).spawn("training-study", budget),
+    )
+    points: List[Dict[str, float]] = []
+
+    # Iteration 0: untrained model (equivalent to the random policy).
+    point = _evaluate_frozen(setup, policy, test_app, reference_exec, reference_mem)
+    point.iteration = 0
+    points.append({"iteration": 0, "norm_exec": point.norm_exec, "norm_mem": point.norm_mem})
+
+    soc, runtime = build_runtime(setup, policy)
+    for iteration in range(budget):
+        policy.set_training_progress(iteration / budget)
+        run_application(soc, runtime, train_app)
+        point = _evaluate_frozen(setup, policy, test_app, reference_exec, reference_mem)
+        points.append(
+            {
+                "iteration": iteration + 1,
+                "norm_exec": point.norm_exec,
+                "norm_mem": point.norm_mem,
+            }
+        )
+    return {"total_iterations": budget, "points": points}
+
+
 def run_training_study(
     setup: Optional[ExperimentSetup] = None,
     budgets: Sequence[int] = TRAINING_BUDGETS,
@@ -125,8 +162,9 @@ def run_training_study(
     seed: int = 23,
     test_app: Optional[ApplicationSpec] = None,
     train_app: Optional[ApplicationSpec] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> TrainingStudyResult:
-    """Run the Figure 8 training-time study."""
+    """Run the Figure 8 training-time study (one sweep job per budget)."""
     if not budgets:
         raise ExperimentError("at least one training budget is required")
     setup = setup if setup is not None else traffic_setup("SoC0", seed=seed)
@@ -142,26 +180,39 @@ def run_training_study(
     reference_exec = {p.name: p.execution_cycles for p in reference_result.phases}
     reference_mem = {p.name: float(p.ddr_accesses) for p in reference_result.phases}
 
-    curves: Dict[int, TrainingCurve] = {}
-    for budget in budgets:
-        policy = CohmeleonPolicy(
-            weights=weights, rng=SeededRNG(seed).spawn("training-study", budget)
+    jobs = [
+        Job(
+            # The index keeps keys unique if a budget is repeated.
+            key=f"{index}-budget-{budget}",
+            fn=_training_budget_job,
+            params={
+                "setup": setup,
+                "budget": budget,
+                "seed": seed,
+                "weights": weights,
+                "test_app": test_app,
+                "train_app": train_app,
+                "reference_exec": reference_exec,
+                "reference_mem": reference_mem,
+            },
+            seed=seed,
         )
-        curve = TrainingCurve(total_iterations=budget)
+        for index, budget in enumerate(budgets)
+    ]
+    spec = SweepSpec(name=f"training-{setup.name}", jobs=jobs)
+    outcome = run_spec(spec, runner)
 
-        # Iteration 0: untrained model (equivalent to the random policy).
-        point = _evaluate_frozen(setup, policy, test_app, reference_exec, reference_mem)
-        point.iteration = 0
-        curve.points.append(point)
-
-        soc, runtime = build_runtime(setup, policy)
-        for iteration in range(budget):
-            policy.set_training_progress(iteration / budget)
-            run_application(soc, runtime, train_app)
-            point = _evaluate_frozen(
-                setup, policy, test_app, reference_exec, reference_mem
-            )
-            point.iteration = iteration + 1
-            curve.points.append(point)
-        curves[budget] = curve
+    curves: Dict[int, TrainingCurve] = {}
+    for budget, payload in zip(budgets, outcome.payloads.values()):
+        curves[budget] = TrainingCurve(
+            total_iterations=budget,
+            points=[
+                TrainingCurvePoint(
+                    iteration=int(entry["iteration"]),
+                    norm_exec=float(entry["norm_exec"]),
+                    norm_mem=float(entry["norm_mem"]),
+                )
+                for entry in payload["points"]
+            ],
+        )
     return TrainingStudyResult(setup_name=setup.name, curves=curves)

@@ -110,8 +110,9 @@ class Engine:
         while self._queue:
             time, _seq, process, first = heapq.heappop(self._queue)
             if until is not None and time > until:
-                # Put the event back so a later run() call can continue.
-                self._push(time, process, first)
+                # Put the event back — with its original sequence number, so
+                # same-time events keep their order across a pause/resume.
+                heapq.heappush(self._queue, (time, _seq, process, first))
                 self.now = until
                 return self.now
             if time < self.now - 1e-9:

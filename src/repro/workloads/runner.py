@@ -42,6 +42,28 @@ class PhaseResult:
         """Sum of the coherence-runtime overhead across the phase."""
         return sum(result.policy_overhead_cycles for result in self.invocations)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON form (used by the sweep runner); inverse of :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "execution_cycles": self.execution_cycles,
+            "ddr_accesses": self.ddr_accesses,
+            "invocations": [result.to_dict() for result in self.invocations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PhaseResult":
+        """Rebuild a phase result from :meth:`to_dict` output."""
+        return cls(
+            name=str(data["name"]),
+            execution_cycles=float(data["execution_cycles"]),
+            ddr_accesses=int(data["ddr_accesses"]),
+            invocations=[
+                InvocationResult.from_dict(entry)
+                for entry in list(data.get("invocations", []))
+            ],
+        )
+
 
 @dataclass
 class ApplicationResult:
@@ -72,6 +94,23 @@ class ApplicationResult:
             if phase.name == name:
                 return phase
         raise KeyError(f"no phase named {name!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON form (used by the sweep runner); inverse of :meth:`from_dict`."""
+        return {
+            "application_name": self.application_name,
+            "policy_name": self.policy_name,
+            "phases": [phase.to_dict() for phase in self.phases],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ApplicationResult":
+        """Rebuild an application result from :meth:`to_dict` output."""
+        return cls(
+            application_name=str(data["application_name"]),
+            policy_name=str(data["policy_name"]),
+            phases=[PhaseResult.from_dict(entry) for entry in list(data.get("phases", []))],
+        )
 
 
 def _thread_process(

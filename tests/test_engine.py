@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import SimulationError
 from repro.sim.engine import Engine, ResumeAt
@@ -116,6 +118,100 @@ class TestEngineErrors:
         engine.spawn("loop", forever())
         with pytest.raises(SimulationError):
             engine.run(max_events=100)
+
+
+# ----------------------------------------------------------------------
+# Property-based tests: event ordering under delay/ResumeAt mixes, and
+# run(until=...) resume semantics.
+# ----------------------------------------------------------------------
+
+#: One process step: ("delay", d) yields a relative delay, ("at", d) yields
+#: an absolute ResumeAt d cycles past the process's current time.  Both
+#: resume the process exactly d cycles later, so its timeline is computable
+#: independently of how the engine interleaves it with other processes.
+step_strategy = st.tuples(
+    st.sampled_from(["delay", "at"]),
+    st.integers(min_value=0, max_value=50),
+)
+
+plans_strategy = st.lists(
+    st.lists(step_strategy, min_size=1, max_size=6), min_size=1, max_size=6
+)
+
+
+def _scripted_process(log, tag, steps):
+    now = 0.0
+    for kind, value in steps:
+        if kind == "delay":
+            now = yield value
+        else:
+            now = yield ResumeAt(now + value)
+        log.append((tag, now))
+
+
+def _expected_times(steps):
+    times, now = [], 0.0
+    for _kind, value in steps:
+        now += value
+        times.append(now)
+    return times
+
+
+def _run_scripted(engine, plans):
+    log = []
+    for index, steps in enumerate(plans):
+        engine.spawn(f"p{index}", _scripted_process(log, f"p{index}", steps))
+    return log
+
+
+class TestEngineOrderingProperties:
+    @given(plans=plans_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_resumes_are_globally_time_ordered(self, plans):
+        engine = Engine()
+        log = _run_scripted(engine, plans)
+        engine.run()
+        times = [now for _tag, now in log]
+        assert times == sorted(times)
+        assert engine.all_finished()
+        if times:
+            assert engine.now == max(times)
+
+    @given(plans=plans_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_each_process_follows_its_own_timeline(self, plans):
+        # Delays and ResumeAt are interchangeable ways to move d cycles
+        # forward, and interleaving with other processes never shifts a
+        # process's resume times.
+        engine = Engine()
+        log = _run_scripted(engine, plans)
+        engine.run()
+        for index, steps in enumerate(plans):
+            observed = [now for tag, now in log if tag == f"p{index}"]
+            assert observed == _expected_times(steps)
+
+    @given(
+        plans=plans_strategy,
+        cuts=st.lists(st.integers(min_value=0, max_value=320), max_size=5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_chunked_run_until_matches_single_run(self, plans, cuts):
+        # Pausing at arbitrary times with run(until=...) and resuming must
+        # produce exactly the interleaving of an uninterrupted run().
+        straight_engine = Engine()
+        straight_log = _run_scripted(straight_engine, plans)
+        straight_engine.run()
+
+        chunked_engine = Engine()
+        chunked_log = _run_scripted(chunked_engine, plans)
+        for cut in sorted(cuts):
+            chunked_engine.run(until=cut)
+            assert chunked_engine.now <= max(cut, straight_engine.now)
+        chunked_engine.run()
+
+        assert chunked_log == straight_log
+        assert chunked_engine.all_finished()
+        assert chunked_engine.pending_events == 0
 
 
 class TestEngineRunUntil:

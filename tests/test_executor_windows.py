@@ -1,0 +1,106 @@
+"""Property-based tests for the executor's stream-window helpers.
+
+``_stream_windows`` splits an accelerator's virtual input/output stream into
+per-iteration windows; ``_wrap_region`` maps a window of the (repeating)
+virtual stream onto a finite buffer region.  The DMA traffic the executor
+generates is exactly the union of these pieces, so their invariants — the
+windows partition the stream, the wrap pieces cover exactly ``nbytes`` —
+guarantee no byte is transferred twice or skipped.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.executor import InvocationExecutor, _stream_windows, _wrap_region
+
+
+class TestStreamWindows:
+    @given(
+        total=st.integers(min_value=0, max_value=1 << 24),
+        iterations=st.integers(min_value=1, max_value=2 * InvocationExecutor.MAX_ITERATIONS),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_windows_partition_the_stream(self, total, iterations):
+        windows = _stream_windows(total, iterations)
+        assert len(windows) == iterations
+        assert all(size >= 0 for _start, size in windows)
+        assert sum(size for _start, size in windows) == total
+        # Consecutive windows tile the stream without gaps or overlap.
+        cursor = 0
+        for start, size in windows:
+            if size > 0:
+                assert start == cursor
+                cursor = start + size
+        assert cursor == total
+
+    @given(total=st.integers(min_value=1, max_value=1 << 24))
+    @settings(max_examples=100, deadline=None)
+    def test_single_iteration_is_the_whole_stream(self, total):
+        assert _stream_windows(total, 1) == [(0, total)]
+
+    @given(
+        total=st.integers(min_value=0, max_value=1 << 20),
+        iterations=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_window_sizes_are_balanced(self, total, iterations):
+        # round()-based splitting keeps every window within one byte of the
+        # ideal total/iterations share.
+        windows = _stream_windows(total, iterations)
+        ideal = total / iterations
+        assert all(abs(size - ideal) <= 1.0 for _start, size in windows)
+
+
+class TestWrapRegion:
+    @given(
+        offset=st.integers(min_value=0, max_value=1 << 24),
+        nbytes=st.integers(min_value=1, max_value=1 << 20),
+        region=st.integers(min_value=1, max_value=1 << 16),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_pieces_cover_exactly_nbytes(self, offset, nbytes, region):
+        pieces = _wrap_region(offset, nbytes, region)
+        assert sum(size for _cursor, size in pieces) == nbytes
+        assert all(size > 0 for _cursor, size in pieces)
+
+    @given(
+        offset=st.integers(min_value=0, max_value=1 << 24),
+        nbytes=st.integers(min_value=1, max_value=1 << 20),
+        region=st.integers(min_value=1, max_value=1 << 16),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_pieces_stay_inside_the_region(self, offset, nbytes, region):
+        pieces = _wrap_region(offset, nbytes, region)
+        for cursor, size in pieces:
+            assert 0 <= cursor < region
+            assert cursor + size <= region
+
+    @given(
+        offset=st.integers(min_value=0, max_value=1 << 24),
+        nbytes=st.integers(min_value=1, max_value=1 << 20),
+        region=st.integers(min_value=1, max_value=1 << 16),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_first_piece_starts_at_wrapped_offset_then_zero(self, offset, nbytes, region):
+        pieces = _wrap_region(offset, nbytes, region)
+        assert pieces[0][0] == offset % region
+        # Every subsequent piece restarts at the region origin (the wrap).
+        assert all(cursor == 0 for cursor, _size in pieces[1:])
+        # Only the first and last pieces may be partial; middle pieces span
+        # the whole region.
+        assert all(size == region for _cursor, size in pieces[1:-1])
+
+    @given(
+        offset=st.integers(min_value=0, max_value=1 << 16),
+        nbytes=st.integers(max_value=0, min_value=-(1 << 10)),
+        region=st.integers(min_value=1, max_value=1 << 16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_empty_window_yields_no_pieces(self, offset, nbytes, region):
+        assert _wrap_region(offset, nbytes, region) == []
+
+    def test_degenerate_region_yields_no_pieces(self):
+        assert _wrap_region(5, 10, 0) == []
+        assert _wrap_region(5, 10, -1) == []

@@ -117,7 +117,31 @@ class TestCommon:
         )
         assert evaluations["cohmeleon"].training_results
         assert not evaluations["cohmeleon"].result.invocations == []
-        assert policies["cohmeleon"].agent.epsilon == 0.0
+        # Evaluation runs on a copy: the caller's policy keeps its initial
+        # exploration schedule instead of coming back frozen.
+        assert policies["cohmeleon"].agent.epsilon > 0.0
+        assert policies["cohmeleon"].agent.learning_enabled
+
+    def test_evaluate_policies_calls_are_independent(self, quick_setup):
+        # Regression test: evaluate_policies used to train/freeze/clear the
+        # caller's CohmeleonPolicy object in place, so a second evaluation of
+        # the same spec started from the first one's learned state.  Two
+        # evaluations of the same spec must now produce identical results.
+        policies = {
+            "rand": make_standard_policies(("rand",), seed=3)["rand"],
+            "cohmeleon": CohmeleonPolicy(),
+        }
+        test_app = quick_app(quick_setup)
+        train_app = quick_app(quick_setup, threads=3)
+        first = evaluate_policies(
+            quick_setup, policies, test_app, training_app=train_app, training_iterations=2
+        )
+        second = evaluate_policies(
+            quick_setup, policies, test_app, training_app=train_app, training_iterations=2
+        )
+        assert {name: ev.to_dict() for name, ev in first.items()} == {
+            name: ev.to_dict() for name, ev in second.items()
+        }
 
 
 class TestIsolationExperiment:
