@@ -8,9 +8,13 @@ heuristic, and Cohmeleon — and compares execution time and off-chip memory
 accesses.
 
 Run with:  python examples/autonomous_driving.py
+Setting REPRO_EXAMPLE_QUICK=1 shrinks the training budget (used by the CI
+smoke tests).
 """
 
 from __future__ import annotations
+
+import os
 
 from repro import build_system
 from repro.core import CohmeleonPolicy, FixedPolicy, ManualPolicy
@@ -19,7 +23,7 @@ from repro.utils.tables import format_table
 from repro.workloads.case_studies import case_study_accelerators, case_study_application
 from repro.workloads.runner import run_application
 
-TRAINING_ITERATIONS = 4
+TRAINING_ITERATIONS = 1 if os.environ.get("REPRO_EXAMPLE_QUICK", "") not in ("", "0") else 4
 
 
 def evaluate(policy_label: str, policy) -> tuple:

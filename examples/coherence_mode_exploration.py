@@ -7,9 +7,13 @@ prints execution time and off-chip accesses normalised to non-coherent DMA
 — showing that the winner depends on both the accelerator and the size.
 
 Run with:  python examples/coherence_mode_exploration.py
+Setting REPRO_EXAMPLE_QUICK=1 shrinks the accelerator/size grid (used by
+the CI smoke tests).
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.accelerators.library import accelerator_by_name
 from repro.experiments.common import motivation_setup
@@ -22,8 +26,12 @@ from repro.soc.coherence import COHERENCE_MODES
 from repro.units import KB, MB
 from repro.utils.tables import format_table
 
-ACCELERATORS = ("Autoencoder", "FFT", "GEMM", "SPMV")
-SIZES = {"Small": 16 * KB, "Medium": 256 * KB, "Large": 2 * MB}
+if os.environ.get("REPRO_EXAMPLE_QUICK", "") not in ("", "0"):
+    ACCELERATORS = ("FFT", "SPMV")
+    SIZES = {"Small": 16 * KB, "Large": 2 * MB}
+else:
+    ACCELERATORS = ("Autoencoder", "FFT", "GEMM", "SPMV")
+    SIZES = {"Small": 16 * KB, "Medium": 256 * KB, "Large": 2 * MB}
 
 
 def main() -> None:

@@ -8,10 +8,13 @@ coherence mode the learned policy selects — the same information the
 paper's Figure 7 breaks down.
 
 Run with:  python examples/computer_vision_pipeline.py
+Setting REPRO_EXAMPLE_QUICK=1 shrinks the training budget (used by the CI
+smoke tests).
 """
 
 from __future__ import annotations
 
+import os
 from collections import Counter
 
 from repro import build_system
@@ -22,7 +25,7 @@ from repro.workloads.case_studies import case_study_accelerators, case_study_app
 from repro.workloads.runner import run_application
 from repro.workloads.sizes import size_class_of
 
-TRAINING_ITERATIONS = 5
+TRAINING_ITERATIONS = 1 if os.environ.get("REPRO_EXAMPLE_QUICK", "") not in ("", "0") else 5
 
 
 def main() -> None:

@@ -8,10 +8,13 @@ SoC configuration, and shows which coherence modes Cohmeleon learns to use
 for each of them.
 
 Run with:  python examples/custom_traffic_generator.py
+Setting REPRO_EXAMPLE_QUICK=1 shrinks loop counts and the training budget
+(used by the CI smoke tests).
 """
 
 from __future__ import annotations
 
+import os
 from collections import Counter
 
 from repro import build_system
@@ -56,7 +59,11 @@ GATHERER = TrafficGeneratorConfig(
 ).to_descriptor("Gatherer")
 
 
-def build_application(loops: int = 2) -> ApplicationSpec:
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "") not in ("", "0")
+TRAINING_ITERATIONS = 2 if QUICK else 5
+
+
+def build_application(loops: int = 1 if QUICK else 2) -> ApplicationSpec:
     phase_small = PhaseSpec(
         name="small-inputs",
         threads=(
@@ -82,8 +89,8 @@ def main() -> None:
     soc, runtime = build_system(CUSTOM_SOC, policy=policy, accelerators=accelerators)
 
     application = build_application()
-    for iteration in range(5):
-        policy.set_training_progress(iteration / 5)
+    for iteration in range(TRAINING_ITERATIONS):
+        policy.set_training_progress(iteration / TRAINING_ITERATIONS)
         run_application(soc, runtime, application)
     policy.freeze()
     result = run_application(soc, runtime, application)

@@ -6,9 +6,13 @@ learns online, and prints the per-invocation coherence decisions and the
 per-phase totals.
 
 Run with:  python examples/quickstart.py
+Setting REPRO_EXAMPLE_QUICK=1 shrinks footprints and loop counts (used by
+the CI smoke tests).
 """
 
 from __future__ import annotations
+
+import os
 
 from repro import build_system
 from repro.core import CohmeleonPolicy
@@ -18,21 +22,26 @@ from repro.workloads.runner import run_application
 from repro.workloads.spec import ApplicationSpec, PhaseSpec, ThreadSpec
 
 
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "") not in ("", "0")
+
+
 def build_application() -> ApplicationSpec:
     """A small application: a light phase and a heavier parallel phase."""
+    loops = 1 if QUICK else 2
+    heavy_bytes = 256 * KB if QUICK else 1 * MB
     light = PhaseSpec(
         name="light",
         threads=(
-            ThreadSpec("t0", ("FFT", "GEMM"), footprint_bytes=24 * KB, loop_count=2),
-            ThreadSpec("t1", ("Autoencoder",), footprint_bytes=48 * KB, loop_count=2),
+            ThreadSpec("t0", ("FFT", "GEMM"), footprint_bytes=24 * KB, loop_count=loops),
+            ThreadSpec("t1", ("Autoencoder",), footprint_bytes=48 * KB, loop_count=loops),
         ),
     )
     heavy = PhaseSpec(
         name="heavy",
         threads=(
-            ThreadSpec("h0", ("FFT", "GEMM"), footprint_bytes=1 * MB, loop_count=1),
-            ThreadSpec("h1", ("Conv-2D",), footprint_bytes=512 * KB, loop_count=2),
-            ThreadSpec("h2", ("Cholesky",), footprint_bytes=96 * KB, loop_count=2),
+            ThreadSpec("h0", ("FFT", "GEMM"), footprint_bytes=heavy_bytes, loop_count=1),
+            ThreadSpec("h1", ("Conv-2D",), footprint_bytes=heavy_bytes // 2, loop_count=loops),
+            ThreadSpec("h2", ("Cholesky",), footprint_bytes=96 * KB, loop_count=loops),
         ),
     )
     return ApplicationSpec(name="quickstart", phases=(light, heavy))

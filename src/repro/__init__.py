@@ -14,7 +14,15 @@ The library is organised as follows:
   agent) and the baseline coherence policies;
 * :mod:`repro.workloads` — multithreaded evaluation applications;
 * :mod:`repro.experiments` — harnesses that regenerate every figure and
-  table of the paper's evaluation.
+  table of the paper's evaluation, plus the parallel sweep runner and its
+  on-disk result cache;
+* :mod:`repro.scenarios` — the declarative scenario registry: named,
+  parameterizable workloads (case studies, example ports, the Figure 9
+  grid, and new frontier workloads) runnable through the sweep runner via
+  ``python -m repro.scenarios``.
+
+The docs site under ``docs/`` (``mkdocs build``) covers every layer; see
+``docs/architecture.md`` for the layer map.
 
 Quickstart
 ----------

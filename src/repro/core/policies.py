@@ -94,6 +94,7 @@ class FixedPolicy(CoherencePolicy):
         request: InvocationRequest,
         supported: Sequence[CoherenceMode],
     ) -> CoherenceMode:
+        """Return the fixed mode (or the closest supported fallback)."""
         return self._fallback(self.mode, supported)
 
 
@@ -117,6 +118,7 @@ class FixedHeterogeneousPolicy(CoherencePolicy):
         request: InvocationRequest,
         supported: Sequence[CoherenceMode],
     ) -> CoherenceMode:
+        """Return the profiled per-accelerator mode (or the default)."""
         preferred = self.mode_per_accelerator.get(
             request.accelerator.name, self.default_mode
         )
@@ -138,6 +140,7 @@ class RandomPolicy(CoherencePolicy):
         request: InvocationRequest,
         supported: Sequence[CoherenceMode],
     ) -> CoherenceMode:
+        """Draw a uniformly random mode from the supported set."""
         if not supported:
             raise PolicyError("the target tile supports no coherence mode")
         return self.rng.choice(list(supported))
@@ -178,6 +181,7 @@ class ManualPolicy(CoherencePolicy):
         request: InvocationRequest,
         supported: Sequence[CoherenceMode],
     ) -> CoherenceMode:
+        """Apply the Algorithm 1 rules to the sensed snapshot."""
         footprint = snapshot.target_footprint_bytes
         active_fully_coh = snapshot.active_count(CoherenceMode.FULL_COH)
         active_coh_dma = snapshot.active_count(CoherenceMode.COH_DMA)
@@ -239,6 +243,7 @@ class CohmeleonPolicy(CoherencePolicy):
         request: InvocationRequest,
         supported: Sequence[CoherenceMode],
     ) -> CoherenceMode:
+        """Discretize the snapshot and let the Q-learning agent choose."""
         state = discretize_snapshot(snapshot)
         before_random = self.agent.random_decisions
         mode = self.agent.select_action(state, allowed=supported)
@@ -260,6 +265,7 @@ class CohmeleonPolicy(CoherencePolicy):
         snapshot: SystemSnapshot,
         result: InvocationResult,
     ) -> None:
+        """Compute the reward for the finished invocation and learn from it."""
         components = self.reward_tracker.evaluate(result)
         record = self._pending.pop(request.tile_name, None)
         state = record.state if record is not None else discretize_snapshot(snapshot)

@@ -1,0 +1,71 @@
+"""Declarative workload scenarios: a registry of named, runnable workloads.
+
+A :class:`Scenario` bundles an SoC configuration, an accelerator binding,
+an application factory (with distinct training/testing instances), the
+policy comparison to run, and default seeds.  Scenarios come from three
+places, all landing in one registry:
+
+* **builtin modules** (:mod:`repro.scenarios.builtin`) registered with the
+  :func:`register_scenario` decorator — the Section 5 case studies, ports
+  of the ``examples/`` scripts, the Figure 9 platform grid, and new
+  "frontier" workloads beyond the paper;
+* **scenario files** (TOML/JSON, see :mod:`repro.scenarios.loader`) so new
+  workloads need no code — drop a file in a directory named by
+  ``REPRO_SCENARIO_PATH`` or pass its path to the CLI;
+* **user code** calling :func:`register` directly.
+
+Running a scenario (:func:`run_scenario`, or ``python -m repro.scenarios
+run <name>``) dispatches one sweep job per policy through the
+:mod:`repro.experiments.sweep` runner, inheriting its parallelism, its
+on-disk result cache, and its fingerprint-derived seeding contract.
+
+Quickstart
+----------
+>>> from repro.scenarios import get_scenario, scenario_names
+>>> "soc5-autonomous" in scenario_names()
+True
+>>> scenario = get_scenario("soc5-autonomous")
+>>> scenario.build_setup().soc_config.name
+'SoC5'
+"""
+
+from repro.scenarios.loader import load_scenario_file, load_scenario_mapping
+from repro.scenarios.registry import (
+    all_scenarios,
+    discover,
+    get_scenario,
+    register,
+    register_scenario,
+    scenario_names,
+    unregister,
+)
+from repro.scenarios.run import (
+    ScenarioRunResult,
+    evaluate_scenario_policy,
+    run_scenario,
+)
+from repro.scenarios.scenario import (
+    DEFAULT_SCENARIO_POLICIES,
+    Scenario,
+    TESTING_INSTANCE,
+    TRAINING_INSTANCE,
+)
+
+__all__ = [
+    "DEFAULT_SCENARIO_POLICIES",
+    "Scenario",
+    "ScenarioRunResult",
+    "TESTING_INSTANCE",
+    "TRAINING_INSTANCE",
+    "all_scenarios",
+    "discover",
+    "evaluate_scenario_policy",
+    "get_scenario",
+    "load_scenario_file",
+    "load_scenario_mapping",
+    "register",
+    "register_scenario",
+    "run_scenario",
+    "scenario_names",
+    "unregister",
+]

@@ -1,0 +1,19 @@
+"""Builtin scenarios, registered on import.
+
+Importing this package publishes every builtin scenario to the registry
+(:mod:`repro.scenarios.registry` does so during discovery):
+
+* :mod:`~repro.scenarios.builtin.case_studies` — the paper's Section 5
+  case-study SoCs (SoC4 mixed, SoC5 autonomous driving, SoC6 vision);
+* :mod:`~repro.scenarios.builtin.examples` — registry ports of the five
+  ``examples/`` walkthrough scripts;
+* :mod:`~repro.scenarios.builtin.figures` — the Figure 9 traffic-generator
+  platforms (SoC0 streaming/irregular, SoC1-SoC3 mixed);
+* :mod:`~repro.scenarios.builtin.frontier` — new workloads beyond the
+  paper's grid (multi-tenant inference, memory-bound DSP streaming,
+  latency-critical V2V bursts with best-effort background traffic).
+"""
+
+from repro.scenarios.builtin import case_studies, examples, figures, frontier
+
+__all__ = ["case_studies", "examples", "figures", "frontier"]

@@ -1,0 +1,114 @@
+"""Case-study scenarios (paper Section 5) on the registry.
+
+These wrap the hand-written SoC4/SoC5/SoC6 setups of
+:mod:`repro.workloads.case_studies`: the SoC preset, the domain-specific
+accelerator set, and the domain application, each with distinct training
+(instance 0) and testing (instance 1) variants.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import List
+
+from repro.accelerators.descriptor import AcceleratorDescriptor
+from repro.experiments.common import ExperimentSetup
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.scenario import Scenario
+from repro.soc.config import SoCConfig, soc_preset
+from repro.utils.rng import SeededRNG
+from repro.workloads.case_studies import case_study_accelerators, case_study_application
+from repro.workloads.spec import ApplicationSpec
+
+
+def _case_study_config(label: str) -> SoCConfig:
+    """SoC preset for one case-study label."""
+    return soc_preset(label)
+
+
+def _case_study_descriptors(
+    label: str, config: SoCConfig, rng: SeededRNG
+) -> List[AcceleratorDescriptor]:
+    """Accelerator set of one case-study label (fixed, RNG unused)."""
+    return case_study_accelerators(label)
+
+
+def _case_study_app(
+    label: str, setup: ExperimentSetup, instance: int, rng: SeededRNG
+) -> ApplicationSpec:
+    """Application instance for one case-study label.
+
+    The case-study applications derive their footprints from the instance
+    index alone (see ``case_studies._sized_footprints``), so training and
+    testing variants differ deterministically.
+    """
+    return case_study_application(label, instance=instance)
+
+
+def _case_study_scenario(label: str, name: str, title: str, description: str) -> Scenario:
+    """Build the scenario wrapping one case-study SoC."""
+    return Scenario(
+        name=name,
+        title=title,
+        description=description,
+        category="case-study",
+        tags=("paper", "section-5", label.lower()),
+        config_factory=functools.partial(_case_study_config, label),
+        accelerator_factory=functools.partial(_case_study_descriptors, label),
+        application_factory=functools.partial(_case_study_app, label),
+        policy_kinds=(
+            "fixed-non-coh-dma",
+            "fixed-llc-coh-dma",
+            "fixed-coh-dma",
+            "fixed-full-coh",
+            "manual",
+            "cohmeleon",
+        ),
+        training_iterations=4,
+    )
+
+
+@register_scenario
+def soc4_mixed() -> Scenario:
+    """SoC4: one instance of each Table 2 accelerator, mixed workload."""
+    return _case_study_scenario(
+        "SoC4",
+        name="soc4-mixed",
+        title="SoC4 mixed multi-application case study",
+        description=(
+            "One instance of each of the eleven ESP accelerators runs a mixed "
+            "multi-application workload: CNN inference, signal processing, "
+            "sorting/sparse kernels, and the image-classification pipeline "
+            "share the SoC across a light and a heavy phase."
+        ),
+    )
+
+
+@register_scenario
+def soc5_autonomous() -> Scenario:
+    """SoC5: the collaborative-autonomous-vehicles case study."""
+    return _case_study_scenario(
+        "SoC5",
+        name="soc5-autonomous",
+        title="SoC5 collaborative autonomous vehicles case study",
+        description=(
+            "Two FFT and two Viterbi accelerators encode/decode V2V "
+            "communication while two Conv-2D and two GEMM accelerators run "
+            "CNN inference; a map-fusion phase chains all four kinds."
+        ),
+    )
+
+
+@register_scenario
+def soc6_vision() -> Scenario:
+    """SoC6: the computer-vision case study."""
+    return _case_study_scenario(
+        "SoC6",
+        name="soc6-vision",
+        title="SoC6 computer-vision case study",
+        description=(
+            "Three instances of an image-classification pipeline — "
+            "night-vision (undarken), autoencoder (denoise), MLP (classify) — "
+            "process an image batch and then a video stream."
+        ),
+    )

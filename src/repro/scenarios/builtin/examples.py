@@ -1,0 +1,331 @@
+"""Registry ports of the five ``examples/`` walkthrough scripts.
+
+Each scenario reproduces the platform and workload of one example script
+so the same study can be listed, parameterized, cached, and fanned out
+through the sweep runner (``python -m repro.scenarios run <name>``)
+instead of living only as hand-rolled Python.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.accelerators.descriptor import AccessPattern, AcceleratorDescriptor
+from repro.accelerators.library import ACCELERATOR_LIBRARY, accelerator_by_name
+from repro.accelerators.traffic import TrafficGeneratorConfig
+from repro.experiments.common import ExperimentSetup
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.scenario import Scenario
+from repro.soc.config import SoCConfig, soc_preset
+from repro.units import KB, MB
+from repro.utils.rng import SeededRNG
+from repro.workloads.case_studies import case_study_accelerators, case_study_application
+from repro.workloads.spec import ApplicationSpec, PhaseSpec, ThreadSpec
+
+
+def _library_binding(config: SoCConfig, rng: SeededRNG) -> List[AcceleratorDescriptor]:
+    """The default ESP library binding: cycle the library to fill the tiles."""
+    library = list(ACCELERATOR_LIBRARY)
+    return [
+        library[index % len(library)] for index in range(config.num_accelerator_tiles)
+    ]
+
+
+def _soc1_config() -> SoCConfig:
+    """SoC1 preset (the quickstart platform)."""
+    return soc_preset("SoC1")
+
+
+def _quickstart_app(
+    setup: ExperimentSetup, instance: int, rng: SeededRNG
+) -> ApplicationSpec:
+    """The quickstart application: a light phase and a heavier parallel phase.
+
+    Footprints are scaled slightly per instance so the training and testing
+    variants differ, mirroring the paper's two-instance methodology.
+    """
+    scale = 1.0 + 0.25 * instance
+    light = PhaseSpec(
+        name="light",
+        threads=(
+            ThreadSpec("t0", ("FFT", "GEMM"), int(24 * KB * scale), loop_count=2),
+            ThreadSpec("t1", ("Autoencoder",), int(48 * KB * scale), loop_count=2),
+        ),
+    )
+    heavy = PhaseSpec(
+        name="heavy",
+        threads=(
+            ThreadSpec("h0", ("FFT", "GEMM"), int(1 * MB * scale), loop_count=1),
+            ThreadSpec("h1", ("Conv-2D",), int(512 * KB * scale), loop_count=2),
+            ThreadSpec("h2", ("Cholesky",), int(96 * KB * scale), loop_count=2),
+        ),
+    )
+    return ApplicationSpec(
+        name=f"quickstart-{instance}", phases=(light, heavy), metadata={"instance": instance}
+    )
+
+
+@register_scenario
+def quickstart() -> Scenario:
+    """Port of ``examples/quickstart.py``: a small app on SoC1."""
+    return Scenario(
+        name="quickstart",
+        title="Quickstart: two-phase application on SoC1",
+        description=(
+            "The walkthrough workload from examples/quickstart.py: a light "
+            "phase (small FFT->GEMM and Autoencoder datasets) followed by a "
+            "heavy phase with megabyte-scale footprints, run on the SoC1 "
+            "preset with the default ESP library binding."
+        ),
+        category="example",
+        tags=("example", "soc1", "starter"),
+        config_factory=_soc1_config,
+        accelerator_factory=_library_binding,
+        application_factory=_quickstart_app,
+        training_iterations=2,
+    )
+
+
+# ----------------------------------------------------------------------
+# examples/coherence_mode_exploration.py
+# ----------------------------------------------------------------------
+
+_EXPLORATION_ACCELERATORS = ("Autoencoder", "FFT", "GEMM", "SPMV")
+_EXPLORATION_SIZES = (("small", 16 * KB), ("medium", 256 * KB), ("large", 2 * MB))
+
+
+def _motivation_config() -> SoCConfig:
+    """The Section 3 motivation SoC preset."""
+    return soc_preset("Motivation")
+
+
+def _exploration_binding(config: SoCConfig, rng: SeededRNG) -> List[AcceleratorDescriptor]:
+    """The four accelerators the exploration example compares."""
+    return [accelerator_by_name(name) for name in _EXPLORATION_ACCELERATORS]
+
+
+def _exploration_app(
+    setup: ExperimentSetup, instance: int, rng: SeededRNG
+) -> ApplicationSpec:
+    """Isolation-style application: one phase per (accelerator, size) pair.
+
+    Each phase runs a single thread invoking a single accelerator, so a
+    fixed-mode policy yields exactly the per-mode isolation measurements of
+    the example (and of Figure 2 in miniature).
+    """
+    phases = []
+    for accelerator in _EXPLORATION_ACCELERATORS:
+        for size_label, footprint in _EXPLORATION_SIZES:
+            phases.append(
+                PhaseSpec(
+                    name=f"{accelerator}-{size_label}",
+                    threads=(
+                        ThreadSpec(
+                            thread_id=f"{accelerator}-{size_label}",
+                            accelerator_chain=(accelerator,),
+                            footprint_bytes=footprint + instance * 4 * KB,
+                            loop_count=1,
+                        ),
+                    ),
+                )
+            )
+    return ApplicationSpec(
+        name=f"mode-exploration-{instance}",
+        phases=tuple(phases),
+        metadata={"instance": instance},
+    )
+
+
+@register_scenario
+def mode_exploration() -> Scenario:
+    """Port of ``examples/coherence_mode_exploration.py``."""
+    return Scenario(
+        name="mode-exploration",
+        title="Coherence modes vs. workload size, in isolation",
+        description=(
+            "The Section 3 motivation in miniature: four accelerators run in "
+            "isolation with Small/Medium/Large datasets under each fixed "
+            "coherence mode, showing that the best mode depends on both the "
+            "accelerator and the size."
+        ),
+        category="example",
+        tags=("example", "motivation", "isolation"),
+        config_factory=_motivation_config,
+        accelerator_factory=_exploration_binding,
+        application_factory=_exploration_app,
+        policy_kinds=(
+            "fixed-non-coh-dma",
+            "fixed-llc-coh-dma",
+            "fixed-coh-dma",
+            "fixed-full-coh",
+        ),
+        training_iterations=0,
+    )
+
+
+# ----------------------------------------------------------------------
+# examples/autonomous_driving.py and examples/computer_vision_pipeline.py
+# ----------------------------------------------------------------------
+
+def _soc5_config() -> SoCConfig:
+    """SoC5 preset (autonomous-driving platform)."""
+    return soc_preset("SoC5")
+
+
+def _soc5_binding(config: SoCConfig, rng: SeededRNG) -> List[AcceleratorDescriptor]:
+    """The SoC5 case-study accelerator set."""
+    return case_study_accelerators("SoC5")
+
+
+def _soc5_app(setup: ExperimentSetup, instance: int, rng: SeededRNG) -> ApplicationSpec:
+    """The SoC5 V2V + CNN application, one variant per instance."""
+    return case_study_application("SoC5", instance=instance)
+
+
+@register_scenario
+def example_autonomous_driving() -> Scenario:
+    """Port of ``examples/autonomous_driving.py`` (SoC5, four policies)."""
+    return Scenario(
+        name="example-autonomous-driving",
+        title="Autonomous-driving walkthrough (SoC5, four policies)",
+        description=(
+            "The examples/autonomous_driving.py comparison: the SoC5 V2V + "
+            "CNN application under fixed non-coherent DMA, fixed coherent "
+            "DMA, the manual heuristic, and Cohmeleon trained online for a "
+            "handful of iterations."
+        ),
+        category="example",
+        tags=("example", "soc5", "v2v"),
+        config_factory=_soc5_config,
+        accelerator_factory=_soc5_binding,
+        application_factory=_soc5_app,
+        training_iterations=4,
+    )
+
+
+def _soc6_config() -> SoCConfig:
+    """SoC6 preset (computer-vision platform)."""
+    return soc_preset("SoC6")
+
+
+def _soc6_binding(config: SoCConfig, rng: SeededRNG) -> List[AcceleratorDescriptor]:
+    """The SoC6 case-study accelerator set."""
+    return case_study_accelerators("SoC6")
+
+
+def _soc6_app(setup: ExperimentSetup, instance: int, rng: SeededRNG) -> ApplicationSpec:
+    """The SoC6 image-classification application, one variant per instance."""
+    return case_study_application("SoC6", instance=instance)
+
+
+@register_scenario
+def example_computer_vision() -> Scenario:
+    """Port of ``examples/computer_vision_pipeline.py`` (SoC6)."""
+    return Scenario(
+        name="example-computer-vision",
+        title="Computer-vision walkthrough (SoC6 pipelines)",
+        description=(
+            "The examples/computer_vision_pipeline.py study: Cohmeleon "
+            "learns coherence modes for three night-vision -> autoencoder -> "
+            "MLP classification pipelines on SoC6, compared against the "
+            "non-coherent-DMA reference and the manual heuristic."
+        ),
+        category="example",
+        tags=("example", "soc6", "vision"),
+        config_factory=_soc6_config,
+        accelerator_factory=_soc6_binding,
+        application_factory=_soc6_app,
+        policy_kinds=("fixed-non-coh-dma", "manual", "cohmeleon"),
+        training_iterations=5,
+    )
+
+
+# ----------------------------------------------------------------------
+# examples/custom_traffic_generator.py
+# ----------------------------------------------------------------------
+
+def _custom_soc_config() -> SoCConfig:
+    """The 4-tile custom SoC of the custom-traffic example."""
+    return SoCConfig(
+        name="CustomSoC",
+        num_accelerator_tiles=4,
+        noc_rows=3,
+        noc_cols=3,
+        num_cpus=2,
+        num_mem_tiles=2,
+        llc_partition_bytes=256 * KB,
+        l2_bytes=32 * KB,
+    )
+
+
+def _custom_traffic_binding(
+    config: SoCConfig, rng: SeededRNG
+) -> List[AcceleratorDescriptor]:
+    """Two custom traffic-generator accelerators plus FFT and GEMM."""
+    streamer = TrafficGeneratorConfig(
+        access_pattern=AccessPattern.STREAMING,
+        burst_bytes=4096,
+        compute_cycles_per_byte=0.3,
+        reuse_factor=1.0,
+        read_write_ratio=1.0,
+        local_mem_bytes=64 * KB,
+    ).to_descriptor("Streamer")
+    gatherer = TrafficGeneratorConfig(
+        access_pattern=AccessPattern.IRREGULAR,
+        burst_bytes=64,
+        compute_cycles_per_byte=0.5,
+        reuse_factor=2.0,
+        read_write_ratio=4.0,
+        access_fraction=0.5,
+        local_mem_bytes=32 * KB,
+    ).to_descriptor("Gatherer")
+    return [streamer, gatherer, accelerator_by_name("FFT"), accelerator_by_name("GEMM")]
+
+
+def _custom_traffic_app(
+    setup: ExperimentSetup, instance: int, rng: SeededRNG
+) -> ApplicationSpec:
+    """The custom-traffic application: small inputs, then large inputs."""
+    scale = 1.0 + 0.5 * instance
+    phase_small = PhaseSpec(
+        name="small-inputs",
+        threads=(
+            ThreadSpec("s0", ("Streamer",), int(24 * KB * scale), loop_count=2),
+            ThreadSpec("s1", ("Gatherer",), int(16 * KB * scale), loop_count=2),
+            ThreadSpec("s2", ("FFT", "GEMM"), int(32 * KB * scale), loop_count=2),
+        ),
+    )
+    phase_large = PhaseSpec(
+        name="large-inputs",
+        threads=(
+            ThreadSpec("l0", ("Streamer",), int(2 * MB * scale), loop_count=2),
+            ThreadSpec("l1", ("Gatherer",), int(1 * MB * scale), loop_count=2),
+            ThreadSpec("l2", ("FFT", "GEMM"), int(768 * KB * scale), loop_count=2),
+        ),
+    )
+    return ApplicationSpec(
+        name=f"custom-traffic-{instance}",
+        phases=(phase_small, phase_large),
+        metadata={"instance": instance},
+    )
+
+
+@register_scenario
+def example_custom_traffic() -> Scenario:
+    """Port of ``examples/custom_traffic_generator.py``."""
+    return Scenario(
+        name="example-custom-traffic",
+        title="Custom traffic-generator accelerators on a custom SoC",
+        description=(
+            "Two user-defined accelerators — a long-burst streaming engine "
+            "and a latency-bound irregular gatherer — deployed next to FFT "
+            "and GEMM on a 4-tile custom SoC, exercising the traffic-"
+            "generator interface end to end."
+        ),
+        category="example",
+        tags=("example", "traffic-generator", "custom-soc"),
+        config_factory=_custom_soc_config,
+        accelerator_factory=_custom_traffic_binding,
+        application_factory=_custom_traffic_app,
+        training_iterations=3,
+    )

@@ -1,0 +1,171 @@
+"""Paper-grid scenarios: the Figure 9 traffic-generator platforms.
+
+These port the figure harnesses' setup grids onto the registry: SoC0
+restricted to streaming generators, SoC0 restricted to irregular
+generators, and SoC1-SoC3 with mixed generator sets, each paired with a
+randomly generated (but seed-deterministic) multi-phase application, as in
+:mod:`repro.experiments.socs`.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import List, Optional
+
+from repro.accelerators.descriptor import AccessPattern, AcceleratorDescriptor
+from repro.accelerators.traffic import TrafficGeneratorFactory
+from repro.experiments.common import ExperimentSetup
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.scenario import Scenario
+from repro.soc.config import SoCConfig, soc_preset
+from repro.utils.rng import SeededRNG
+from repro.workloads.generator import ApplicationGenerator, GeneratorConfig
+from repro.workloads.spec import ApplicationSpec
+
+#: Policy comparison used by the paper-grid scenarios (the Figure 9 set
+#: minus the profiled fixed-heterogeneous baseline, which needs an
+#: expensive profiling pre-pass; add it back with ``run --policies``).
+PAPER_GRID_POLICIES = (
+    "fixed-non-coh-dma",
+    "fixed-llc-coh-dma",
+    "fixed-coh-dma",
+    "fixed-full-coh",
+    "rand",
+    "manual",
+    "cohmeleon",
+)
+
+
+def _preset_config(name: str) -> SoCConfig:
+    """Table 4 preset for one paper-grid scenario."""
+    return soc_preset(name)
+
+
+def _traffic_binding(
+    pattern: Optional[AccessPattern], config: SoCConfig, rng: SeededRNG
+) -> List[AcceleratorDescriptor]:
+    """Traffic generators filling the SoC's tiles.
+
+    With a ``pattern`` every generator uses it (the SoC0 streaming and
+    irregular configurations); otherwise the set mixes all three access
+    patterns, as the SoC1-SoC3 platforms do.
+    """
+    factory = TrafficGeneratorFactory(rng)
+    if pattern is None:
+        return factory.build_mixed_set(config.num_accelerator_tiles)
+    return factory.build_set(config.num_accelerator_tiles, pattern)
+
+
+def _generated_app(
+    setup: ExperimentSetup, instance: int, rng: SeededRNG
+) -> ApplicationSpec:
+    """A randomly configured evaluation application (seed-deterministic)."""
+    generator = ApplicationGenerator(
+        soc_config=setup.soc_config,
+        accelerator_names=[descriptor.name for descriptor in setup.accelerators],
+        generator_config=GeneratorConfig(num_phases=3, min_threads=2, max_threads=6),
+        seed=setup.seed + 41,
+    )
+    return generator.generate(instance=instance)
+
+
+def _paper_grid_scenario(
+    name: str,
+    preset: str,
+    pattern: Optional[AccessPattern],
+    title: str,
+    description: str,
+) -> Scenario:
+    """Build one paper-grid scenario around a preset and a traffic pattern."""
+    return Scenario(
+        name=name,
+        title=title,
+        description=description,
+        category="paper-grid",
+        tags=("paper", "figure-9", preset.lower()),
+        config_factory=functools.partial(_preset_config, preset),
+        accelerator_factory=functools.partial(_traffic_binding, pattern),
+        application_factory=_generated_app,
+        policy_kinds=PAPER_GRID_POLICIES,
+        training_iterations=3,
+    )
+
+
+@register_scenario
+def soc0_streaming() -> Scenario:
+    """SoC0 populated with streaming traffic generators."""
+    return _paper_grid_scenario(
+        name="soc0-streaming",
+        preset="SoC0",
+        pattern=AccessPattern.STREAMING,
+        title="SoC0 with streaming traffic generators",
+        description=(
+            "The 12-tile SoC0 platform populated exclusively with streaming "
+            "traffic generators (long DMA bursts, low reuse) running a "
+            "generated three-phase evaluation application."
+        ),
+    )
+
+
+@register_scenario
+def soc0_irregular() -> Scenario:
+    """SoC0 populated with irregular traffic generators."""
+    return _paper_grid_scenario(
+        name="soc0-irregular",
+        preset="SoC0",
+        pattern=AccessPattern.IRREGULAR,
+        title="SoC0 with irregular traffic generators",
+        description=(
+            "The 12-tile SoC0 platform populated exclusively with irregular, "
+            "latency-bound traffic generators (short sparse accesses), the "
+            "configuration where coherent modes shine."
+        ),
+    )
+
+
+@register_scenario
+def soc1_mixed_traffic() -> Scenario:
+    """SoC1 with a mixed traffic-generator set."""
+    return _paper_grid_scenario(
+        name="soc1-mixed-traffic",
+        preset="SoC1",
+        pattern=None,
+        title="SoC1 with mixed traffic generators",
+        description=(
+            "The 7-tile SoC1 platform (2 CPUs, 4 memory tiles, 256 KB LLC "
+            "partitions) with a traffic-generator set spanning streaming, "
+            "strided, and irregular access patterns."
+        ),
+    )
+
+
+@register_scenario
+def soc2_mixed_traffic() -> Scenario:
+    """SoC2 with a mixed traffic-generator set."""
+    return _paper_grid_scenario(
+        name="soc2-mixed-traffic",
+        preset="SoC2",
+        pattern=None,
+        title="SoC2 with mixed traffic generators",
+        description=(
+            "The 9-tile SoC2 platform (4 CPUs, only 2 memory tiles) with a "
+            "mixed traffic-generator set — the memory-tile-constrained point "
+            "of the paper's grid."
+        ),
+    )
+
+
+@register_scenario
+def soc3_mixed_traffic() -> Scenario:
+    """SoC3 with a mixed traffic-generator set (five cacheless tiles)."""
+    return _paper_grid_scenario(
+        name="soc3-mixed-traffic",
+        preset="SoC3",
+        pattern=None,
+        title="SoC3 with mixed traffic generators and cacheless tiles",
+        description=(
+            "The 16-tile SoC3 platform where five accelerator tiles lack a "
+            "private cache and therefore cannot run fully coherent — the "
+            "heterogeneous-capability point of the paper's grid."
+        ),
+    )

@@ -1,0 +1,420 @@
+"""Frontier scenarios: workloads beyond the paper's evaluation grid.
+
+Three new scenarios exercise SoC/NoC/LLC configurations and traffic shapes
+the paper never touches:
+
+* ``multi-tenant-inference`` — a bursty inference server on a 12-tile SoC
+  with megabyte LLC partitions and duplicated NVDLA engines;
+* ``streaming-dsp-chain`` — a memory-bound DSP pipeline on a single-memory-
+  tile SoC whose LLC is far smaller than every dataset;
+* ``v2v-burst-best-effort`` — latency-critical V2V bursts sharing a SoC
+  with best-effort batch traffic pinned to cacheless tiles.
+
+Footprints are drawn per instance from the size-class machinery, so the
+training and testing variants differ exactly as the paper's methodology
+prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.accelerators.descriptor import AcceleratorDescriptor
+from repro.accelerators.library import accelerator_by_name
+from repro.experiments.common import ExperimentSetup
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.scenario import Scenario
+from repro.soc.config import SoCConfig
+from repro.units import KB, MB
+from repro.utils.rng import SeededRNG
+from repro.workloads.sizes import WorkloadSizeClass, footprint_for_class
+from repro.workloads.spec import ApplicationSpec, PhaseSpec, ThreadSpec
+
+
+def _named_binding(names: Sequence[str]):
+    """Accelerator factory returning the named library accelerators."""
+
+    def accelerator_factory(
+        config: SoCConfig, rng: SeededRNG
+    ) -> List[AcceleratorDescriptor]:
+        """Bind the frontier scenario's fixed accelerator set."""
+        return [accelerator_by_name(name) for name in names]
+
+    return accelerator_factory
+
+
+def _sized_threads(
+    setup: ExperimentSetup,
+    rng: SeededRNG,
+    prefix: str,
+    plan: Sequence[Tuple[Tuple[str, ...], WorkloadSizeClass, int]],
+) -> Tuple[ThreadSpec, ...]:
+    """Build threads from a ``(chain, size_class, loops)`` plan.
+
+    Footprints are sampled from the size class against the scenario's SoC
+    via the passed RNG stream, so different instances (training/testing)
+    get different concrete sizes while staying in the same class.
+    """
+    config = setup.soc_config
+    return tuple(
+        ThreadSpec(
+            thread_id=f"{prefix}{index}",
+            accelerator_chain=chain,
+            footprint_bytes=footprint_for_class(size_class, config, rng=rng),
+            loop_count=loops,
+            cpu_index=index % max(config.num_cpus, 1),
+        )
+        for index, (chain, size_class, loops) in enumerate(plan)
+    )
+
+
+# ----------------------------------------------------------------------
+# multi-tenant-inference
+# ----------------------------------------------------------------------
+
+def _inference_config() -> SoCConfig:
+    """A 12-tile inference-server SoC with megabyte LLC partitions.
+
+    The paper's grid stops at 512 KB LLC partitions and never deploys more
+    than one NVDLA; this platform has 4 x 1 MB partitions, a 6x5 NoC, and
+    duplicated inference engines.
+    """
+    return SoCConfig(
+        name="InferenceSoC",
+        num_accelerator_tiles=12,
+        noc_rows=6,
+        noc_cols=5,
+        num_cpus=4,
+        num_mem_tiles=4,
+        llc_partition_bytes=1 * MB,
+        l2_bytes=64 * KB,
+        acc_l2_bytes=32 * KB,
+    )
+
+
+_INFERENCE_ACCELERATORS = (
+    "NVDLA",
+    "NVDLA",
+    "Conv-2D",
+    "Conv-2D",
+    "GEMM",
+    "GEMM",
+    "MLP",
+    "MLP",
+    "Autoencoder",
+    "Autoencoder",
+    "MRI-Q",
+    "Sort",
+)
+
+_TENANT_CHAINS: Tuple[Tuple[str, ...], ...] = (
+    ("NVDLA",),
+    ("Conv-2D", "GEMM", "MLP"),
+    ("Autoencoder", "MLP"),
+    ("NVDLA", "MLP"),
+    ("Conv-2D", "GEMM"),
+    ("MRI-Q",),
+    ("Autoencoder", "NVDLA"),
+    ("GEMM", "MLP"),
+)
+
+
+def _inference_app(
+    setup: ExperimentSetup, instance: int, rng: SeededRNG
+) -> ApplicationSpec:
+    """Bursty multi-tenant load: steady state, a request burst, then drain."""
+    steady = PhaseSpec(
+        name="steady",
+        threads=_sized_threads(
+            setup,
+            rng,
+            "steady",
+            [
+                (_TENANT_CHAINS[index], WorkloadSizeClass.MEDIUM, 2)
+                for index in range(4)
+            ],
+        ),
+    )
+    burst_sizes = (
+        WorkloadSizeClass.LARGE,
+        WorkloadSizeClass.EXTRA_LARGE,
+        WorkloadSizeClass.LARGE,
+        WorkloadSizeClass.MEDIUM,
+        WorkloadSizeClass.EXTRA_LARGE,
+        WorkloadSizeClass.LARGE,
+        WorkloadSizeClass.MEDIUM,
+        WorkloadSizeClass.LARGE,
+    )
+    burst = PhaseSpec(
+        name="burst",
+        threads=_sized_threads(
+            setup,
+            rng,
+            "burst",
+            [
+                (_TENANT_CHAINS[index], burst_sizes[index], 1)
+                for index in range(len(_TENANT_CHAINS))
+            ],
+        ),
+    )
+    drain = PhaseSpec(
+        name="drain",
+        threads=_sized_threads(
+            setup,
+            rng,
+            "drain",
+            [
+                (("NVDLA",), WorkloadSizeClass.SMALL, 2),
+                (("Autoencoder", "MLP"), WorkloadSizeClass.SMALL, 2),
+            ],
+        ),
+    )
+    return ApplicationSpec(
+        name=f"multi-tenant-inference-{instance}",
+        phases=(steady, burst, drain),
+        metadata={"instance": instance},
+    )
+
+
+@register_scenario
+def multi_tenant_inference() -> Scenario:
+    """A bursty multi-tenant inference server with duplicated NVDLAs."""
+    return Scenario(
+        name="multi-tenant-inference",
+        title="Bursty multi-tenant inference server",
+        description=(
+            "Eight tenants share a 12-tile inference SoC with two NVDLA "
+            "engines and 4 MB of aggregate LLC. A steady phase of medium "
+            "requests is followed by a burst whose large/extra-large "
+            "footprints overflow the LLC, then a small-request drain — the "
+            "load shape where the best coherence mode flips twice within "
+            "one application."
+        ),
+        category="frontier",
+        tags=("frontier", "inference", "multi-tenant", "nvdla"),
+        config_factory=_inference_config,
+        accelerator_factory=_named_binding(_INFERENCE_ACCELERATORS),
+        application_factory=_inference_app,
+        policy_kinds=(
+            "fixed-non-coh-dma",
+            "fixed-coh-dma",
+            "rand",
+            "manual",
+            "cohmeleon",
+        ),
+        training_iterations=3,
+    )
+
+
+# ----------------------------------------------------------------------
+# streaming-dsp-chain
+# ----------------------------------------------------------------------
+
+def _dsp_config() -> SoCConfig:
+    """A lean DSP SoC with one memory tile and a 128 KB LLC.
+
+    Every paper platform has at least two memory tiles and 512 KB of
+    aggregate LLC; this one funnels all traffic through a single DRAM
+    channel behind a 128 KB partition, making every phase memory-bound.
+    """
+    return SoCConfig(
+        name="DspSoC",
+        num_accelerator_tiles=6,
+        noc_rows=4,
+        noc_cols=3,
+        num_cpus=1,
+        num_mem_tiles=1,
+        llc_partition_bytes=128 * KB,
+        l2_bytes=16 * KB,
+    )
+
+
+_DSP_ACCELERATORS = ("FFT", "FFT", "Viterbi", "Sort", "SPMV", "Sort")
+
+
+def _dsp_app(setup: ExperimentSetup, instance: int, rng: SeededRNG) -> ApplicationSpec:
+    """A streaming DSP chain whose datasets dwarf the LLC."""
+    ingest = PhaseSpec(
+        name="ingest",
+        threads=_sized_threads(
+            setup,
+            rng,
+            "in",
+            [
+                (("FFT", "Viterbi"), WorkloadSizeClass.EXTRA_LARGE, 2),
+                (("FFT",), WorkloadSizeClass.EXTRA_LARGE, 2),
+            ],
+        ),
+    )
+    transform = PhaseSpec(
+        name="transform",
+        threads=_sized_threads(
+            setup,
+            rng,
+            "tr",
+            [
+                (("Sort", "SPMV"), WorkloadSizeClass.EXTRA_LARGE, 2),
+                (("Sort",), WorkloadSizeClass.LARGE, 2),
+            ],
+        ),
+    )
+    aggregate = PhaseSpec(
+        name="aggregate",
+        threads=_sized_threads(
+            setup,
+            rng,
+            "ag",
+            [(("FFT", "Sort", "SPMV"), WorkloadSizeClass.EXTRA_LARGE, 1)],
+        ),
+    )
+    return ApplicationSpec(
+        name=f"streaming-dsp-{instance}",
+        phases=(ingest, transform, aggregate),
+        metadata={"instance": instance},
+    )
+
+
+@register_scenario
+def streaming_dsp_chain() -> Scenario:
+    """A memory-bound streaming DSP chain on a single-memory-tile SoC."""
+    return Scenario(
+        name="streaming-dsp-chain",
+        title="Memory-bound streaming DSP chain",
+        description=(
+            "FFT -> Viterbi -> Sort -> SPMV pipelines stream extra-large "
+            "datasets through a SoC with a single memory tile and a 128 KB "
+            "LLC — a configuration the paper grid never reaches, where "
+            "coherent modes must pay for an LLC that cannot help and the "
+            "single DRAM channel is the bottleneck."
+        ),
+        category="frontier",
+        tags=("frontier", "dsp", "memory-bound", "streaming"),
+        config_factory=_dsp_config,
+        accelerator_factory=_named_binding(_DSP_ACCELERATORS),
+        application_factory=_dsp_app,
+        policy_kinds=(
+            "fixed-non-coh-dma",
+            "fixed-llc-coh-dma",
+            "fixed-coh-dma",
+            "manual",
+            "cohmeleon",
+        ),
+        training_iterations=3,
+    )
+
+
+# ----------------------------------------------------------------------
+# v2v-burst-best-effort
+# ----------------------------------------------------------------------
+
+def _v2v_config() -> SoCConfig:
+    """A 10-tile V2V SoC with three memory tiles and two cacheless tiles.
+
+    The odd memory-tile count and the cacheless best-effort tiles (indices
+    8 and 9, which therefore cannot run fully coherent) are both outside
+    the paper's Table 4 grid.
+    """
+    return SoCConfig(
+        name="V2VSoC",
+        num_accelerator_tiles=10,
+        noc_rows=5,
+        noc_cols=3,
+        num_cpus=2,
+        num_mem_tiles=3,
+        llc_partition_bytes=256 * KB,
+        l2_bytes=32 * KB,
+        accelerators_without_cache=(8, 9),
+    )
+
+
+_V2V_ACCELERATORS = (
+    "FFT",
+    "FFT",
+    "Viterbi",
+    "Viterbi",
+    "Conv-2D",
+    "Conv-2D",
+    "GEMM",
+    "GEMM",
+    "Sort",  # best-effort, cacheless tile
+    "SPMV",  # best-effort, cacheless tile
+)
+
+
+def _v2v_app(setup: ExperimentSetup, instance: int, rng: SeededRNG) -> ApplicationSpec:
+    """Latency-critical V2V bursts over continuous best-effort traffic."""
+    background = PhaseSpec(
+        name="background",
+        threads=_sized_threads(
+            setup,
+            rng,
+            "bg",
+            [
+                (("Sort",), WorkloadSizeClass.EXTRA_LARGE, 2),
+                (("SPMV",), WorkloadSizeClass.LARGE, 2),
+            ],
+        ),
+    )
+    burst = PhaseSpec(
+        name="v2v-burst",
+        threads=_sized_threads(
+            setup,
+            rng,
+            "v2v",
+            [
+                (("FFT", "Viterbi"), WorkloadSizeClass.SMALL, 3),
+                (("FFT", "Viterbi"), WorkloadSizeClass.SMALL, 3),
+                (("FFT", "Viterbi"), WorkloadSizeClass.SMALL, 3),
+                (("FFT", "Viterbi"), WorkloadSizeClass.SMALL, 3),
+                (("Sort",), WorkloadSizeClass.EXTRA_LARGE, 1),
+                (("SPMV",), WorkloadSizeClass.LARGE, 1),
+            ],
+        ),
+    )
+    fusion = PhaseSpec(
+        name="fusion",
+        threads=_sized_threads(
+            setup,
+            rng,
+            "fu",
+            [
+                (("Conv-2D", "GEMM"), WorkloadSizeClass.MEDIUM, 2),
+                (("Conv-2D", "GEMM"), WorkloadSizeClass.MEDIUM, 2),
+                (("Sort",), WorkloadSizeClass.EXTRA_LARGE, 1),
+            ],
+        ),
+    )
+    return ApplicationSpec(
+        name=f"v2v-burst-{instance}",
+        phases=(background, burst, fusion),
+        metadata={"instance": instance},
+    )
+
+
+@register_scenario
+def v2v_burst_best_effort() -> Scenario:
+    """Latency-critical V2V bursts sharing a SoC with best-effort traffic."""
+    return Scenario(
+        name="v2v-burst-best-effort",
+        title="Latency-critical V2V bursts with best-effort background",
+        description=(
+            "Four small latency-critical FFT -> Viterbi V2V flows burst on "
+            "top of continuous extra-large Sort/SPMV batch traffic pinned "
+            "to cacheless best-effort tiles, on a 10-tile SoC with three "
+            "memory tiles. The policy must keep the tiny bursts coherent "
+            "while steering the batch traffic away from the shared LLC."
+        ),
+        category="frontier",
+        tags=("frontier", "v2v", "latency-critical", "best-effort"),
+        config_factory=_v2v_config,
+        accelerator_factory=_named_binding(_V2V_ACCELERATORS),
+        application_factory=_v2v_app,
+        policy_kinds=(
+            "fixed-non-coh-dma",
+            "fixed-coh-dma",
+            "fixed-full-coh",
+            "manual",
+            "cohmeleon",
+        ),
+        training_iterations=3,
+    )

@@ -1,0 +1,299 @@
+"""``python -m repro.scenarios`` — list, describe, and run scenarios.
+
+Examples
+--------
+::
+
+    python -m repro.scenarios list
+    python -m repro.scenarios list --markdown --tag frontier
+    python -m repro.scenarios describe multi-tenant-inference
+    python -m repro.scenarios run quickstart --workers 4
+    python -m repro.scenarios run soc5-autonomous --policies all
+    python -m repro.scenarios run my-scenario.toml --no-cache
+    python -m repro.scenarios gallery --check
+
+``run`` accepts a registered scenario name or a path to a ``.toml`` /
+``.json`` scenario file and dispatches one sweep job per policy through
+the same runner/cache machinery as ``python -m repro.experiments``; a
+rerun with an unchanged configuration is served entirely from the cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, TextIO
+
+from repro.errors import ConfigurationError, ReproError
+from repro.experiments.common import STANDARD_POLICY_KINDS
+from repro.experiments.sweep.cache import ResultCache
+from repro.experiments.sweep.pool import SweepRunner, autodetect_workers
+from repro.scenarios.registry import all_scenarios, get_scenario
+from repro.scenarios.scenario import Scenario
+from repro.utils.tables import format_table
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``python -m repro.scenarios`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="List, describe, and run registered workload scenarios.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = commands.add_parser("list", help="list registered scenarios")
+    list_parser.add_argument(
+        "--markdown", action="store_true", help="emit a markdown table"
+    )
+    list_parser.add_argument("--tag", default=None, help="only scenarios with this tag")
+    list_parser.add_argument(
+        "--category", default=None, help="only scenarios in this category"
+    )
+
+    describe_parser = commands.add_parser(
+        "describe", help="show one scenario's materialized configuration"
+    )
+    describe_parser.add_argument("name", help="scenario name or scenario-file path")
+    describe_parser.add_argument(
+        "--seed", type=int, default=None, help="materialize with this seed"
+    )
+    describe_parser.add_argument(
+        "--json", action="store_true", dest="as_json", help="emit JSON"
+    )
+
+    run_parser = commands.add_parser(
+        "run", help="run a scenario's policy comparison through the sweep runner"
+    )
+    run_parser.add_argument("name", help="scenario name or scenario-file path")
+    run_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: one per CPU; 1 = serial)",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        default=".sweep-cache",
+        metavar="DIR",
+        help="on-disk result cache location (default: %(default)s)",
+    )
+    run_parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=None, help="override the scenario's default seed"
+    )
+    run_parser.add_argument(
+        "--training-iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the scenario's training budget",
+    )
+    run_parser.add_argument(
+        "--policies",
+        default=None,
+        metavar="KINDS",
+        help="comma-separated policy kinds, or 'all' for the full standard set",
+    )
+
+    gallery_parser = commands.add_parser(
+        "gallery", help="regenerate the README/docs scenario gallery"
+    )
+    gallery_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the generated files are up to date instead of writing",
+    )
+    gallery_parser.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="repository root (default: autodetected from this file)",
+    )
+    return parser
+
+
+def _load_target(name: str) -> Scenario:
+    """Resolve a CLI target: a registered name or a scenario-file path."""
+    if name.endswith((".toml", ".json")):
+        from repro.scenarios.loader import load_scenario_file
+
+        return load_scenario_file(name)
+    return get_scenario(name)
+
+
+def _cmd_list(args: argparse.Namespace, out: TextIO) -> int:
+    scenarios = all_scenarios()
+    if args.tag:
+        scenarios = [s for s in scenarios if args.tag in s.tags]
+    if args.category:
+        scenarios = [s for s in scenarios if s.category == args.category]
+    if args.markdown:
+        from repro.scenarios.gallery import gallery_table
+
+        print(gallery_table(scenarios), file=out)
+        return 0
+    rows = [scenario.summary_row() for scenario in scenarios]
+    print(
+        format_table(
+            ["scenario", "category", "SoC", "tiles", "NoC", "policies", "title"],
+            rows,
+            title=f"Registered scenarios ({len(rows)})",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace, out: TextIO) -> int:
+    scenario = _load_target(args.name)
+    description = scenario.describe(seed=args.seed)
+    if args.as_json:
+        print(json.dumps(description, indent=2, sort_keys=True), file=out)
+        return 0
+    print(f"{description['name']} — {description['title']}", file=out)
+    print(f"category: {description['category']}  tags: {', '.join(description['tags']) or '-'}", file=out)
+    if scenario.source:
+        print(f"source: {scenario.source}", file=out)
+    print(file=out)
+    print(description["description"], file=out)
+    print(file=out)
+    soc = description["soc"]
+    print(
+        format_table(
+            ["parameter", "value"], sorted(soc.items()), title="SoC configuration"
+        ),
+        file=out,
+    )
+    print(file=out)
+    accelerators = description["accelerators"]
+    print(
+        format_table(
+            ["accelerator", "instances"],
+            sorted(accelerators.items()),
+            title="Accelerator binding",
+        ),
+        file=out,
+    )
+    print(file=out)
+    application = description["application"]
+    print(
+        format_table(
+            ["phase", "threads", "invocations", "accelerators"],
+            [
+                [
+                    phase["name"],
+                    phase["threads"],
+                    phase["invocations"],
+                    ", ".join(phase["accelerators"]),
+                ]
+                for phase in application["phases"]
+            ],
+            title=f"Test application {application['name']} "
+            f"({application['total_invocations']} invocations)",
+        ),
+        file=out,
+    )
+    print(file=out)
+    print(
+        f"policies: {', '.join(description['policies'])}\n"
+        f"defaults: seed {description['default_seed']}, "
+        f"{description['training_iterations']} training iterations",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
+    from repro.scenarios.run import run_scenario
+
+    scenario = _load_target(args.name)
+    policy_kinds: Optional[List[str]] = None
+    if args.policies is not None:
+        if args.policies == "all":
+            policy_kinds = list(STANDARD_POLICY_KINDS)
+        else:
+            policy_kinds = [kind for kind in args.policies.split(",") if kind]
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    workers = args.workers if args.workers is not None else autodetect_workers()
+    runner = SweepRunner(workers=workers, cache=cache)
+
+    started = time.perf_counter()
+    result = run_scenario(
+        scenario,
+        policy_kinds=policy_kinds,
+        seed=args.seed,
+        training_iterations=args.training_iterations,
+        runner=runner,
+    )
+    elapsed = time.perf_counter() - started
+
+    print(result.report(), file=out)
+    cache_note = "disabled" if cache is None else str(cache.cache_dir)
+    print(
+        f"\n[scenario] name={scenario.name} jobs={len(result.evaluations)} "
+        f"executed={result.executed} cache_hits={result.cache_hits} "
+        f"workers={workers} workers_used={result.workers_used} "
+        f"cache={cache_note} elapsed={elapsed:.1f}s",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_gallery(args: argparse.Namespace, out: TextIO) -> int:
+    from repro.scenarios.gallery import sync_gallery
+
+    if args.root is not None:
+        root = Path(args.root)
+    else:
+        root = Path(__file__).resolve().parents[3]
+    try:
+        stale = sync_gallery(root, check=args.check)
+    except (OSError, ValueError) as exc:
+        raise ConfigurationError(
+            f"cannot sync the scenario gallery under {root}: {exc}"
+        ) from exc
+    if args.check and stale:
+        print(
+            "stale generated files: "
+            + ", ".join(stale)
+            + " (run `python -m repro.scenarios gallery`)",
+            file=out,
+        )
+        return 1
+    if stale:
+        print("updated: " + ", ".join(stale), file=out)
+    else:
+        print("gallery up to date", file=out)
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "describe": _cmd_describe,
+    "run": _cmd_run,
+    "gallery": _cmd_gallery,
+}
+
+
+def main(argv: Optional[List[str]] = None, stream: Optional[TextIO] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = stream if stream is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,274 @@
+"""Execute scenarios through the sweep runner (one job per policy).
+
+:func:`run_scenario` turns a scenario into a
+:class:`~repro.experiments.sweep.SweepSpec` with one job per policy kind
+and dispatches it through :func:`~repro.experiments.sweep.run_spec`, so
+scenario runs inherit everything the sweep subsystem provides: parallel
+workers, the on-disk result cache, and the fingerprint-derived seeding
+contract.  Job parameters are primitives only (scenario name or file path,
+policy kind, seed, iteration count), so fingerprints are stable across
+processes and cache hits survive interpreter restarts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    REFERENCE_POLICY,
+    PolicyEvaluation,
+    evaluate_one_policy,
+    make_standard_policies,
+)
+from repro.experiments.sweep import Job, SweepRunner, SweepSpec, run_spec
+from repro.experiments.sweep.sweep import canonicalize
+from repro.scenarios.scenario import Scenario
+from repro.utils.stats import geometric_mean
+from repro.utils.tables import format_table
+
+
+def _resolve_scenario(name: str, source: Optional[str]) -> Scenario:
+    """Find the scenario a sweep job refers to.
+
+    File-based scenarios are re-loaded from their source path so worker
+    processes never depend on the parent's registry state; registered
+    scenarios are looked up by name after discovery.
+    """
+    if source is not None:
+        from repro.scenarios.loader import load_scenario_file
+
+        scenario = load_scenario_file(source)
+        if scenario.name != name:
+            raise ConfigurationError(
+                f"scenario file {source} defines {scenario.name!r}, expected {name!r}"
+            )
+        return scenario
+    from repro.scenarios.registry import get_scenario
+
+    return get_scenario(name)
+
+
+def scenario_definition_digest(scenario: Scenario, seed: Optional[int] = None) -> str:
+    """Content digest of what the scenario materializes at ``seed``.
+
+    Covers the SoC configuration, the accelerator binding, and the
+    training/testing application pair — everything (besides the policy and
+    the training budget, which are separate job parameters) that
+    determines a scenario evaluation's result.  Embedding this digest in
+    the sweep-job parameters makes job fingerprints sensitive to scenario
+    *content*: editing a scenario file or a builtin definition misses the
+    cache instead of silently reusing a stale payload.
+    """
+    setup = scenario.build_setup(seed=seed)
+    training_app, test_app = scenario.applications(setup, seed=seed)
+    document = canonicalize(
+        {
+            "config": setup.soc_config,
+            "accelerators": list(setup.accelerators),
+            "training_app": training_app,
+            "test_app": test_app,
+        }
+    )
+    text = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def evaluate_scenario_policy(
+    scenario: Scenario,
+    policy_kind: str,
+    seed: Optional[int] = None,
+    training_iterations: Optional[int] = None,
+) -> PolicyEvaluation:
+    """Evaluate one policy kind on ``scenario`` in the current process.
+
+    Builds the setup and the (training, testing) application pair, trains
+    learning policies for ``training_iterations`` runs, and evaluates on
+    the testing instance.  The profiled ``fixed-hetero`` baseline runs its
+    isolation profiling pass first, exactly as the figure harnesses do.
+    """
+    seed = scenario.default_seed if seed is None else seed
+    iterations = (
+        scenario.training_iterations if training_iterations is None else training_iterations
+    )
+    setup = scenario.build_setup(seed=seed)
+    training_app, test_app = scenario.applications(setup, seed=seed)
+    hetero = None
+    if policy_kind == "fixed-hetero":
+        from repro.experiments.isolation import fixed_hetero_modes
+
+        hetero = fixed_hetero_modes(setup)
+    policies = make_standard_policies([policy_kind], seed, fixed_hetero_modes=hetero)
+    return evaluate_one_policy(
+        setup=setup,
+        policy=policies[policy_kind],
+        test_app=test_app,
+        training_app=training_app,
+        training_iterations=iterations,
+        policy_name=policy_kind,
+    )
+
+
+def _scenario_policy_job(params: Dict[str, object], rng) -> Dict[str, object]:
+    """Sweep job: one (scenario, policy) evaluation (see :func:`run_scenario`)."""
+    scenario = _resolve_scenario(str(params["scenario"]), params.get("source"))  # type: ignore[arg-type]
+    evaluation = evaluate_scenario_policy(
+        scenario,
+        policy_kind=str(params["policy_kind"]),
+        seed=int(params["seed"]),  # type: ignore[arg-type]
+        training_iterations=int(params["training_iterations"]),  # type: ignore[arg-type]
+    )
+    return evaluation.to_dict()
+
+
+@dataclass
+class ScenarioRunResult:
+    """Outcome of one scenario run across its policy comparison."""
+
+    scenario_name: str
+    seed: int
+    #: Per-policy evaluations, in policy order.
+    evaluations: Dict[str, PolicyEvaluation]
+    #: Jobs served from the result cache vs. actually executed.
+    cache_hits: int = 0
+    executed: int = 0
+    workers_used: int = 1
+    #: Policy the normalized columns are relative to.
+    reference_policy: str = REFERENCE_POLICY
+
+    def normalized(self) -> Dict[str, Dict[str, float]]:
+        """Per policy, geomean execution time and off-chip accesses normalized
+        to the reference policy (1.0 = parity; absent reference -> raw sums).
+        """
+        reference = self.evaluations.get(self.reference_policy)
+        table: Dict[str, Dict[str, float]] = {}
+        for name, evaluation in self.evaluations.items():
+            if reference is None:
+                table[name] = {
+                    "exec": evaluation.result.total_execution_cycles,
+                    "mem": float(evaluation.result.total_ddr_accesses),
+                }
+                continue
+            table[name] = {
+                "exec": _geomean_ratio(
+                    evaluation.per_phase_exec, reference.per_phase_exec
+                ),
+                "mem": _geomean_ratio(evaluation.per_phase_ddr, reference.per_phase_ddr),
+            }
+        return table
+
+    def report(self) -> str:
+        """Render the run as the standard policy-comparison table."""
+        normalized = self.normalized()
+        rows: List[List[object]] = []
+        for name, evaluation in self.evaluations.items():
+            entry = normalized[name]
+            rows.append(
+                [
+                    name,
+                    f"{evaluation.result.total_execution_cycles:,.0f}",
+                    f"{entry['exec']:.3f}",
+                    evaluation.result.total_ddr_accesses,
+                    f"{entry['mem']:.3f}",
+                ]
+            )
+        return format_table(
+            [
+                "policy",
+                "execution cycles",
+                "norm exec",
+                "off-chip accesses",
+                "norm mem",
+            ],
+            rows,
+            title=f"Scenario {self.scenario_name} (seed {self.seed}, "
+            f"normalized to {self.reference_policy})",
+        )
+
+
+def _geomean_ratio(values: Dict[str, float], reference: Dict[str, float]) -> float:
+    """Geometric mean of per-phase ratios against a reference (socs.py idiom)."""
+    ratios = []
+    for phase_name, reference_value in reference.items():
+        value = values.get(phase_name, 0.0)
+        if reference_value > 0:
+            ratios.append(value / reference_value)
+        elif value == 0:
+            ratios.append(1.0)
+    return geometric_mean(ratios) if ratios else 0.0
+
+
+def run_scenario(
+    scenario: Scenario,
+    policy_kinds: Optional[Sequence[str]] = None,
+    seed: Optional[int] = None,
+    training_iterations: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
+) -> ScenarioRunResult:
+    """Run ``scenario``'s policy comparison through the sweep runner.
+
+    Parameters
+    ----------
+    scenario:
+        The scenario to run (from the registry or a loaded file).
+    policy_kinds:
+        Policies to compare; defaults to the scenario's ``policy_kinds``.
+    seed:
+        Root seed; defaults to the scenario's ``default_seed``.
+    training_iterations:
+        Online-training budget for learning policies; defaults to the
+        scenario's ``training_iterations``.
+    runner:
+        A configured :class:`SweepRunner` (workers + cache); ``None`` runs
+        serially without a cache.
+
+    Returns
+    -------
+    ScenarioRunResult
+        Per-policy evaluations plus cache/executed statistics from the
+        sweep, with helpers to normalize and render the comparison.
+    """
+    kinds = tuple(policy_kinds if policy_kinds is not None else scenario.policy_kinds)
+    if not kinds:
+        raise ConfigurationError(f"scenario {scenario.name}: no policies to run")
+    run_seed = scenario.default_seed if seed is None else seed
+    iterations = (
+        scenario.training_iterations if training_iterations is None else training_iterations
+    )
+    # The digest ties the fingerprint to the materialized content, so a
+    # cached payload can never outlive an edit to the scenario definition.
+    definition = scenario_definition_digest(scenario, seed=run_seed)
+    jobs = [
+        Job(
+            key=kind,
+            fn=_scenario_policy_job,
+            params={
+                "scenario": scenario.name,
+                "source": scenario.source,
+                "definition": definition,
+                "policy_kind": kind,
+                "seed": run_seed,
+                "training_iterations": iterations,
+            },
+            seed=run_seed,
+        )
+        for kind in kinds
+    ]
+    spec = SweepSpec(name=f"scenario-{scenario.name}", jobs=jobs)
+    outcome = run_spec(spec, runner)
+    evaluations = {
+        kind: PolicyEvaluation.from_dict(outcome[kind]) for kind in kinds
+    }
+    reference = REFERENCE_POLICY if REFERENCE_POLICY in evaluations else kinds[0]
+    return ScenarioRunResult(
+        scenario_name=scenario.name,
+        seed=run_seed,
+        evaluations=evaluations,
+        cache_hits=outcome.cache_hits,
+        executed=outcome.executed,
+        workers_used=outcome.workers_used,
+        reference_policy=reference,
+    )

@@ -1,0 +1,233 @@
+"""The :class:`Scenario` object: a named, declarative, runnable workload.
+
+A scenario bundles everything needed to evaluate coherence policies on one
+workload: a :class:`~repro.soc.config.SoCConfig` (via a factory, so presets
+and custom configurations are treated uniformly), an accelerator binding, an
+application factory that produces training/testing instances, the policy
+kinds to compare, and default seeds.  Scenarios are registered by name in
+:mod:`repro.scenarios.registry`, materialized from TOML/JSON files by
+:mod:`repro.scenarios.loader`, and executed through the sweep runner by
+:mod:`repro.scenarios.run`.
+
+The factory signatures form the scenario contract:
+
+* ``config_factory() -> SoCConfig`` — the platform, built fresh per call;
+* ``accelerator_factory(config, rng) -> [AcceleratorDescriptor]`` — the
+  accelerators to bind, derived only from the config and the passed RNG;
+* ``application_factory(setup, instance, rng) -> ApplicationSpec`` — one
+  application instance (``instance=0`` trains, ``instance=1`` tests),
+  derived only from the setup, the instance index, and the passed RNG.
+
+Because every factory is a pure function of its arguments and all
+randomness flows through explicitly passed :class:`~repro.utils.rng.SeededRNG`
+streams, a scenario evaluated twice with the same seed produces
+bit-identical results — the same discipline the sweep subsystem enforces
+(see the "Determinism" page of the docs site).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.accelerators.descriptor import AcceleratorDescriptor
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    EXPERIMENT_LINE_BYTES,
+    STANDARD_POLICY_KINDS,
+    ExperimentSetup,
+)
+from repro.soc.config import SoCConfig
+from repro.utils.rng import SeededRNG
+from repro.workloads.spec import ApplicationSpec
+
+#: Signature of a scenario's SoC-configuration factory.
+ConfigFactory = Callable[[], SoCConfig]
+#: Signature of a scenario's accelerator-binding factory.
+AcceleratorFactory = Callable[[SoCConfig, SeededRNG], Sequence[AcceleratorDescriptor]]
+#: Signature of a scenario's application factory.
+ApplicationFactory = Callable[[ExperimentSetup, int, SeededRNG], ApplicationSpec]
+
+#: The default policy comparison of a scenario: the reference fixed policy,
+#: its strongest fixed competitor, the manual heuristic, and Cohmeleon.
+#: (``fixed-hetero`` is excluded by default because it requires a profiling
+#: pre-pass; scenarios that want it opt in via ``policy_kinds``.)
+DEFAULT_SCENARIO_POLICIES: Tuple[str, ...] = (
+    "fixed-non-coh-dma",
+    "fixed-coh-dma",
+    "manual",
+    "cohmeleon",
+)
+
+#: Application instance indices used for training and testing, following the
+#: paper's methodology of learning on one randomly configured instance and
+#: evaluating on a different one.
+TRAINING_INSTANCE = 0
+TESTING_INSTANCE = 1
+
+
+@dataclass
+class Scenario:
+    """A named, declarative workload scenario.
+
+    Scenarios are the unit the ``python -m repro.scenarios`` CLI lists,
+    describes, and runs; see the module docstring for the factory contract.
+    """
+
+    #: Registry key (kebab-case, unique).
+    name: str
+    #: One-line human-readable title (shown by ``list``).
+    title: str
+    #: Longer prose description (shown by ``describe`` and the docs gallery).
+    description: str
+    #: Factory producing the scenario's SoC configuration.
+    config_factory: ConfigFactory
+    #: Factory producing the accelerators to bind to the SoC's tiles.
+    accelerator_factory: AcceleratorFactory
+    #: Factory producing application instances (0 trains, 1 tests).
+    application_factory: ApplicationFactory
+    #: Grouping used by the CLI and the docs gallery
+    #: (``case-study`` / ``example`` / ``paper-grid`` / ``frontier`` / ``file``).
+    category: str = "custom"
+    #: Free-form labels for filtering (``list --tag``).
+    tags: Tuple[str, ...] = ()
+    #: Policy kinds compared when the scenario runs (in figure order).
+    policy_kinds: Tuple[str, ...] = DEFAULT_SCENARIO_POLICIES
+    #: Seed every derived RNG stream starts from.
+    default_seed: int = 0
+    #: Online-training iterations for learning policies.
+    training_iterations: int = 3
+    #: Cache-model granularity (coarser blocks cut simulation cost without
+    #: changing relative results); ``None`` keeps the config's own line size.
+    line_bytes: Optional[int] = EXPERIMENT_LINE_BYTES
+    #: Path of the TOML/JSON file this scenario was loaded from, if any.
+    source: Optional[str] = None
+    #: Extra metadata (free-form, surfaced by ``describe``).
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario name must be non-empty")
+        if any(ch.isspace() for ch in self.name):
+            raise ConfigurationError(
+                f"scenario name {self.name!r} must not contain whitespace"
+            )
+        if self.training_iterations < 0:
+            raise ConfigurationError(
+                f"scenario {self.name}: training_iterations must be >= 0"
+            )
+        if not self.policy_kinds:
+            raise ConfigurationError(f"scenario {self.name}: no policy kinds")
+        unknown = [k for k in self.policy_kinds if k not in STANDARD_POLICY_KINDS]
+        if unknown:
+            raise ConfigurationError(
+                f"scenario {self.name}: unknown policy kinds {unknown}; "
+                f"expected a subset of {list(STANDARD_POLICY_KINDS)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def build_config(self) -> SoCConfig:
+        """Build the scenario's SoC configuration (line size applied)."""
+        config = self.config_factory()
+        if self.line_bytes is not None and config.cache_line_bytes != self.line_bytes:
+            config = config.with_line_size(self.line_bytes)
+        return config
+
+    def build_setup(self, seed: Optional[int] = None) -> ExperimentSetup:
+        """Materialize the scenario as an :class:`ExperimentSetup`.
+
+        Parameters
+        ----------
+        seed:
+            Root seed for the accelerator-binding RNG stream; defaults to
+            the scenario's ``default_seed``.
+        """
+        seed = self.default_seed if seed is None else seed
+        config = self.build_config()
+        rng = SeededRNG(seed).spawn("scenario-accelerators", self.name)
+        accelerators = list(self.accelerator_factory(config, rng))
+        return ExperimentSetup(
+            name=self.name, soc_config=config, accelerators=accelerators, seed=seed
+        )
+
+    def build_application(
+        self, setup: ExperimentSetup, instance: int, seed: Optional[int] = None
+    ) -> ApplicationSpec:
+        """Build one application instance for ``setup``.
+
+        ``instance`` selects the variant (:data:`TRAINING_INSTANCE` or
+        :data:`TESTING_INSTANCE`, or any other index for additional
+        instances); the RNG stream passed to the factory depends on the
+        seed, the scenario name, and the instance only.
+        """
+        seed = self.default_seed if seed is None else seed
+        rng = SeededRNG(seed).spawn("scenario-application", self.name, instance)
+        return self.application_factory(setup, instance, rng)
+
+    def applications(
+        self, setup: ExperimentSetup, seed: Optional[int] = None
+    ) -> Tuple[ApplicationSpec, ApplicationSpec]:
+        """Build the (training, testing) application pair for ``setup``."""
+        return (
+            self.build_application(setup, TRAINING_INSTANCE, seed=seed),
+            self.build_application(setup, TESTING_INSTANCE, seed=seed),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self, seed: Optional[int] = None) -> Dict[str, object]:
+        """Summarize the materialized scenario (no simulation involved).
+
+        Returns a JSON-able mapping with the SoC shape, the bound
+        accelerators, the testing application's phase structure, and the
+        run defaults — what ``python -m repro.scenarios describe`` prints.
+        """
+        setup = self.build_setup(seed=seed)
+        test_app = self.build_application(setup, TESTING_INSTANCE, seed=seed)
+        accelerator_counts: Dict[str, int] = {}
+        for descriptor in setup.accelerators:
+            accelerator_counts[descriptor.name] = (
+                accelerator_counts.get(descriptor.name, 0) + 1
+            )
+        return {
+            "name": self.name,
+            "title": self.title,
+            "category": self.category,
+            "tags": list(self.tags),
+            "description": self.description,
+            "soc": setup.soc_config.describe(),
+            "accelerators": accelerator_counts,
+            "application": {
+                "name": test_app.name,
+                "phases": [
+                    {
+                        "name": phase.name,
+                        "threads": len(phase.threads),
+                        "invocations": phase.total_invocations,
+                        "accelerators": phase.accelerators_used(),
+                    }
+                    for phase in test_app.phases
+                ],
+                "total_invocations": test_app.total_invocations,
+            },
+            "policies": list(self.policy_kinds),
+            "default_seed": self.default_seed,
+            "training_iterations": self.training_iterations,
+            "source": self.source,
+        }
+
+    def summary_row(self) -> List[object]:
+        """The scenario's row for the ``list`` table (cheap: no app build)."""
+        config = self.build_config()
+        return [
+            self.name,
+            self.category,
+            config.name,
+            config.num_accelerator_tiles,
+            f"{config.noc_rows}x{config.noc_cols}",
+            len(self.policy_kinds),
+            self.title,
+        ]

@@ -1,0 +1,102 @@
+"""Documentation checks: generated gallery sync and the mkdocs build.
+
+The scenario gallery (the marked block in README.md and the whole
+``docs/scenario-gallery.md`` page) is generated from the registry; these
+tests fail when either is stale, pointing at ``python -m repro.scenarios
+gallery``.  The mkdocs build itself runs only where mkdocs is installed
+(CI's docs job always has it), but the cheap structural checks — nav
+entries exist, internal links resolve — run everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.gallery import DOCS_PAGE, README_BEGIN, README_END, sync_gallery
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DOCS_DIR = REPO_ROOT / "docs"
+
+
+def test_gallery_files_are_in_sync():
+    """README block and docs gallery page match the current registry."""
+    stale = sync_gallery(REPO_ROOT, check=True)
+    assert stale == [], (
+        f"stale generated files {stale}; run `python -m repro.scenarios gallery`"
+    )
+
+
+def test_readme_has_gallery_markers():
+    """The README keeps the generated-block markers the tool splices into."""
+    text = (REPO_ROOT / "README.md").read_text()
+    assert README_BEGIN in text
+    assert README_END in text
+    assert text.index(README_BEGIN) < text.index(README_END)
+
+
+def test_gallery_lists_required_scenario_mix():
+    """The gallery covers case studies, example ports, and new scenarios."""
+    page = (REPO_ROOT / DOCS_PAGE).read_text()
+    rows = re.findall(r"^\| \[`([a-z0-9-]+)`\]", page, flags=re.MULTILINE)
+    assert len(rows) >= 11
+    for required in (
+        "soc4-mixed",
+        "soc5-autonomous",
+        "soc6-vision",
+        "quickstart",
+        "multi-tenant-inference",
+        "streaming-dsp-chain",
+        "v2v-burst-best-effort",
+    ):
+        assert required in rows
+
+
+def test_docs_nav_files_exist():
+    """Every page referenced from mkdocs.yml's nav exists under docs/."""
+    text = (REPO_ROOT / "mkdocs.yml").read_text()
+    pages = re.findall(r":\s*([\w-]+\.md)\s*$", text, flags=re.MULTILINE)
+    assert "architecture.md" in pages and "scenario-authoring.md" in pages
+    for page in pages:
+        assert (DOCS_DIR / page).is_file(), f"mkdocs nav references missing {page}"
+
+
+def test_docs_internal_links_resolve():
+    """Relative markdown links between docs pages point at real files."""
+    for page in DOCS_DIR.glob("*.md"):
+        for target in re.findall(r"\]\(([\w./-]+?\.md)(?:#[\w-]+)?\)", page.read_text()):
+            resolved = (page.parent / target).resolve()
+            assert resolved.is_file(), f"{page.name} links to missing {target}"
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(shutil.which("mkdocs") is None, reason="mkdocs not installed")
+def test_mkdocs_build_strict(tmp_path):
+    """`mkdocs build --strict` succeeds (CI's docs job runs exactly this)."""
+    completed = subprocess.run(
+        [shutil.which("mkdocs"), "build", "--strict", "--site-dir", str(tmp_path / "site")],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+
+
+def test_gallery_cli_check(tmp_path):
+    """The `gallery --check` CLI exits 0 when files are in sync."""
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.scenarios", "gallery", "--check"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr

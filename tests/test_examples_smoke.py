@@ -1,0 +1,56 @@
+"""Smoke lane for the ``examples/`` scripts.
+
+The examples were previously never executed by CI, so an API change could
+silently break them.  Each test runs one script as a subprocess — the same
+way a user would — with ``REPRO_EXAMPLE_QUICK=1`` (every example shrinks
+its training budget / grid under that override) and asserts a zero exit
+code plus non-empty output.  The whole lane carries the ``slow`` marker,
+so CI's quick lane skips it and the full lane runs it.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    """The glob actually finds the walkthrough scripts."""
+    names = {path.name for path in EXAMPLE_SCRIPTS}
+    assert "quickstart.py" in names
+    assert len(EXAMPLE_SCRIPTS) >= 5
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=[path.name for path in EXAMPLE_SCRIPTS]
+)
+def test_example_runs_clean(script: Path):
+    """The example exits 0 under the quick size-class override."""
+    env = {
+        **os.environ,
+        "PYTHONPATH": str(REPO_ROOT / "src"),
+        "REPRO_EXAMPLE_QUICK": "1",
+    }
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} failed (rc={completed.returncode})\n"
+        f"stdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{script.name} produced no output"

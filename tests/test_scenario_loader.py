@@ -1,0 +1,340 @@
+"""Round-trip and validation tests for the scenario TOML/JSON loader.
+
+The same document loaded from TOML and from JSON must materialize
+identically, and every malformed file must raise
+:class:`ConfigurationError` naming the offending key.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios.loader import load_scenario_file, load_scenario_mapping, parse_bytes
+from repro.units import KB, MB
+
+requires_toml = pytest.mark.skipif(
+    sys.version_info < (3, 11), reason="tomllib needs Python >= 3.11"
+)
+
+#: A full-featured scenario document (the JSON/TOML round-trip subject).
+DOCUMENT = {
+    "scenario": {
+        "name": "loader-demo",
+        "title": "Loader demo",
+        "description": "Round-trip subject.",
+        "tags": ["demo"],
+        "policies": ["fixed-non-coh-dma", "manual"],
+        "seed": 5,
+        "training_iterations": 1,
+        "line_bytes": 256,
+    },
+    "soc": {"preset": "SoC1", "overrides": {"llc_partition_bytes": "128 KB"}},
+    "accelerators": [
+        {"name": "FFT", "count": 2},
+        {
+            "name": "Streamer",
+            "traffic": {
+                "access_pattern": "streaming",
+                "burst_bytes": "4 KB",
+                "compute_cycles_per_byte": 0.4,
+            },
+        },
+    ],
+    "application": {
+        "phases": [
+            {
+                "name": "main",
+                "threads": [
+                    {"id": "t0", "chain": ["FFT", "Streamer"], "footprint": "96 KB", "loops": 2},
+                    {"id": "t1", "chain": ["FFT"], "size_class": "L"},
+                ],
+            }
+        ]
+    },
+}
+
+TOML_TEXT = """
+[scenario]
+name = "loader-demo"
+title = "Loader demo"
+description = "Round-trip subject."
+tags = ["demo"]
+policies = ["fixed-non-coh-dma", "manual"]
+seed = 5
+training_iterations = 1
+line_bytes = 256
+
+[soc]
+preset = "SoC1"
+[soc.overrides]
+llc_partition_bytes = "128 KB"
+
+[[accelerators]]
+name = "FFT"
+count = 2
+
+[[accelerators]]
+name = "Streamer"
+[accelerators.traffic]
+access_pattern = "streaming"
+burst_bytes = "4 KB"
+compute_cycles_per_byte = 0.4
+
+[[application.phases]]
+name = "main"
+[[application.phases.threads]]
+id = "t0"
+chain = ["FFT", "Streamer"]
+footprint = "96 KB"
+loops = 2
+[[application.phases.threads]]
+id = "t1"
+chain = ["FFT"]
+size_class = "L"
+"""
+
+
+def _strip_source(description):
+    description = dict(description)
+    description.pop("source")
+    return description
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+
+def test_mapping_loads_and_materializes():
+    """The canonical document builds a runnable scenario."""
+    scenario = load_scenario_mapping(DOCUMENT)
+    assert scenario.name == "loader-demo"
+    assert scenario.policy_kinds == ("fixed-non-coh-dma", "manual")
+    assert scenario.default_seed == 5
+    setup = scenario.build_setup()
+    assert setup.soc_config.name == "SoC1"
+    assert setup.soc_config.llc_partition_bytes == 128 * KB
+    assert setup.soc_config.cache_line_bytes == 256  # [scenario].line_bytes
+    assert [d.name for d in setup.accelerators] == ["FFT", "FFT", "Streamer"]
+    train, test = scenario.applications(setup)
+    assert train.name == "loader-demo-0"
+    assert test.name == "loader-demo-1"
+    # t0 has a concrete footprint; t1's size class resolves per instance.
+    assert train.phases[0].threads[0].footprint_bytes == 96 * KB
+    assert test.phases[0].threads[0].footprint_bytes == 96 * KB
+    assert train.phases[0].threads[1].footprint_bytes != (
+        test.phases[0].threads[1].footprint_bytes
+    )
+
+
+def test_json_file_round_trip(tmp_path):
+    """Writing the document as JSON and loading it reproduces the mapping."""
+    path = tmp_path / "demo.json"
+    path.write_text(json.dumps(DOCUMENT))
+    from_file = load_scenario_file(path)
+    from_mapping = load_scenario_mapping(DOCUMENT)
+    assert from_file.source == str(path)
+    assert _strip_source(from_file.describe()) == _strip_source(from_mapping.describe())
+
+
+@requires_toml
+def test_toml_json_equivalence(tmp_path):
+    """The TOML and JSON renderings of the document materialize identically."""
+    toml_path = tmp_path / "demo.toml"
+    toml_path.write_text(TOML_TEXT)
+    json_path = tmp_path / "demo.json"
+    json_path.write_text(json.dumps(DOCUMENT))
+    toml_scenario = load_scenario_file(toml_path)
+    json_scenario = load_scenario_file(json_path)
+    assert _strip_source(toml_scenario.describe()) == _strip_source(
+        json_scenario.describe()
+    )
+
+
+def test_loaded_scenario_is_deterministic():
+    """Two loads of the same document build identical applications."""
+    first = load_scenario_mapping(DOCUMENT)
+    second = load_scenario_mapping(DOCUMENT)
+    setup_a = first.build_setup()
+    setup_b = second.build_setup()
+    assert setup_a.soc_config == setup_b.soc_config
+    assert first.applications(setup_a) == second.applications(setup_b)
+
+
+def test_generator_application_variant(tmp_path):
+    """A [application.generator] scenario produces generated instances."""
+    document = {
+        "scenario": {"name": "gen-demo", "policies": ["fixed-non-coh-dma"]},
+        "soc": {"preset": "SoC2"},
+        "accelerators": [{"name": "FFT"}, {"name": "GEMM"}, {"name": "SPMV"}],
+        "application": {
+            "generator": {"num_phases": 2, "min_threads": 2, "max_threads": 3}
+        },
+    }
+    scenario = load_scenario_mapping(document)
+    setup = scenario.build_setup()
+    train, test = scenario.applications(setup)
+    assert len(train.phases) == 2
+    assert train != test
+    names = {n for p in train.phases for t in p.threads for n in t.accelerator_chain}
+    assert names <= {"FFT", "GEMM", "SPMV"}
+
+
+def test_inline_soc_definition():
+    """[soc] accepts a full inline platform instead of a preset."""
+    document = {
+        "scenario": {"name": "inline-soc"},
+        "soc": {
+            "accelerator_tiles": 2,
+            "noc_rows": 3,
+            "noc_cols": 3,
+            "cpus": 1,
+            "mem_tiles": 1,
+            "llc_partition": "256 KB",
+            "l2": "16 KB",
+        },
+        "accelerators": [{"name": "FFT"}, {"name": "GEMM"}],
+        "application": {
+            "phases": [
+                {
+                    "name": "p0",
+                    "threads": [{"chain": ["FFT"], "footprint": 32 * KB}],
+                }
+            ]
+        },
+    }
+    config = load_scenario_mapping(document).build_config()
+    assert config.name == "inline-soc"
+    assert config.num_accelerator_tiles == 2
+    assert config.llc_partition_bytes == 256 * KB
+
+
+# ----------------------------------------------------------------------
+# parse_bytes
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [(4096, 4096), ("64 KB", 64 * KB), ("2MB", 2 * MB), ("1.5 KB", 1536), ("10", 10)],
+)
+def test_parse_bytes_accepts(value, expected):
+    """Byte counts parse from ints and unit-suffixed strings."""
+    assert parse_bytes(value, "test") == expected
+
+
+@pytest.mark.parametrize("value", ["64 XB", "lots", None, 1.5, True, [64]])
+def test_parse_bytes_rejects(value):
+    """Malformed byte counts raise and name the key."""
+    with pytest.raises(ConfigurationError, match="some.key"):
+        parse_bytes(value, "some.key")
+
+
+# ----------------------------------------------------------------------
+# Bad documents: the error names the offending key
+# ----------------------------------------------------------------------
+
+def _mutate(**replacements):
+    document = json.loads(json.dumps(DOCUMENT))  # deep copy
+    for dotted, value in replacements.items():
+        target = document
+        *parents, last = dotted.split(".")
+        for key in parents:
+            target = target[key]
+        if value is _DELETE:
+            del target[last]
+        else:
+            target[last] = value
+    return document
+
+
+_DELETE = object()
+
+
+@pytest.mark.parametrize(
+    "mutation,expected_in_message",
+    [
+        ({"scenario.name": _DELETE}, "missing required key 'name'"),
+        ({"scenario.bogus": 1}, "'bogus'"),
+        ({"scenario.policies": ["warp-speed"]}, "warp-speed"),
+        ({"scenario.seed": "seven"}, "[scenario].seed"),
+        ({"soc.preset": "SoC99"}, "[soc].preset"),
+        ({"soc.overrides": {"noc_diagonal": 1}}, "noc_diagonal"),
+        ({"soc.overrides": {"llc_partition_bytes": "many"}}, "llc_partition_bytes"),
+        ({"accelerators": []}, "at least one accelerator"),
+        ({"accelerators": [{"name": "WarpDrive"}]}, "[[accelerators]][0].name"),
+        ({"accelerators": [{"name": "FFT", "count": 0}]}, "count"),
+        ({"application.phases": []}, "at least one phase"),
+        (
+            {"application.generator": {"num_phases": 1}},
+            "exactly one of 'generator' or 'phases'",
+        ),
+    ],
+)
+def test_bad_documents_name_the_offending_key(mutation, expected_in_message):
+    """Every schema violation raises ConfigurationError naming the key."""
+    with pytest.raises(ConfigurationError) as excinfo:
+        load_scenario_mapping(_mutate(**mutation))
+    assert expected_in_message in str(excinfo.value)
+
+
+def test_bad_thread_spec_both_footprint_and_size_class():
+    """A thread cannot give both a footprint and a size class."""
+    document = _mutate()
+    document["application"]["phases"][0]["threads"][0]["size_class"] = "M"
+    with pytest.raises(ConfigurationError, match="not both"):
+        load_scenario_mapping(document)
+
+
+def test_bad_thread_spec_unknown_size_class():
+    """An unknown size class names the thread key."""
+    document = _mutate()
+    thread = document["application"]["phases"][0]["threads"][1]
+    thread["size_class"] = "XXL"
+    with pytest.raises(ConfigurationError, match="size_class"):
+        load_scenario_mapping(document)
+
+
+def test_bad_traffic_pattern_named():
+    """An unknown traffic access pattern names the key."""
+    document = _mutate()
+    document["accelerators"][1]["traffic"]["access_pattern"] = "zigzag"
+    with pytest.raises(ConfigurationError, match="access_pattern"):
+        load_scenario_mapping(document)
+
+
+# ----------------------------------------------------------------------
+# Bad files
+# ----------------------------------------------------------------------
+
+def test_unsupported_extension(tmp_path):
+    """Only .toml and .json files load."""
+    path = tmp_path / "demo.yaml"
+    path.write_text("scenario: {}")
+    with pytest.raises(ConfigurationError, match="unsupported extension"):
+        load_scenario_file(path)
+
+
+def test_invalid_json_reports_the_file(tmp_path):
+    """Syntactically invalid JSON raises with the file path."""
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    with pytest.raises(ConfigurationError, match="broken.json"):
+        load_scenario_file(path)
+
+
+@requires_toml
+def test_invalid_toml_reports_the_file(tmp_path):
+    """Syntactically invalid TOML raises with the file path."""
+    path = tmp_path / "broken.toml"
+    path.write_text("[scenario\nname=")
+    with pytest.raises(ConfigurationError, match="broken.toml"):
+        load_scenario_file(path)
+
+
+def test_missing_file(tmp_path):
+    """A nonexistent path raises ConfigurationError, not OSError."""
+    with pytest.raises(ConfigurationError, match="cannot read"):
+        load_scenario_file(tmp_path / "nope.json")
