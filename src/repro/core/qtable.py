@@ -84,9 +84,13 @@ class QTable:
             raise PolicyError("no coherence modes available to choose from")
         candidates: Sequence[CoherenceMode] = allowed if allowed else COHERENCE_MODES
         row = self._values[self._state_index(state)]
-        best_value = max(row[mode_index(mode)] for mode in candidates)
+        # One index lookup per candidate (the canonical-index table), then
+        # plain-float comparisons — this runs once per simulated decision.
+        values = [float(row[mode_index(mode)]) for mode in candidates]
+        best_value = max(values)
+        threshold = best_value - 1e-12
         best_candidates = [
-            mode for mode in candidates if row[mode_index(mode)] >= best_value - 1e-12
+            mode for mode, value in zip(candidates, values) if value >= threshold
         ]
         if rng is not None and len(best_candidates) > 1:
             return rng.choice(best_candidates)

@@ -25,6 +25,7 @@ from typing import Tuple
 
 from repro.errors import PolicyError
 from repro.runtime.status import SystemSnapshot
+from repro.soc.coherence import CoherenceMode
 
 #: Number of discrete values each attribute can take.
 LEVELS_PER_ATTRIBUTE = 3
@@ -65,9 +66,15 @@ class CoherenceState:
     acc_footprint: int
 
     def __post_init__(self) -> None:
+        index = 0
         for name, value in self.as_tuple_named():
             if not 0 <= value < LEVELS_PER_ATTRIBUTE:
                 raise PolicyError(f"state attribute {name} out of range: {value}")
+            index = index * LEVELS_PER_ATTRIBUTE + value
+        # The base-3 index is read several times per decision (Q-table
+        # lookups and updates); cache it at construction.  The dataclass is
+        # frozen, hence the object.__setattr__.
+        object.__setattr__(self, "_index", index)
 
     def as_tuple(self) -> Tuple[int, int, int, int, int]:
         """Return the attributes as a plain tuple."""
@@ -92,10 +99,7 @@ class CoherenceState:
     @property
     def index(self) -> int:
         """Base-3 encoding of the state, in ``[0, NUM_STATES)``."""
-        index = 0
-        for value in self.as_tuple():
-            index = index * LEVELS_PER_ATTRIBUTE + value
-        return index
+        return self._index
 
     @classmethod
     def from_index(cls, index: int) -> "CoherenceState":
@@ -110,18 +114,48 @@ class CoherenceState:
         return cls(*values)
 
 
+#: Interning table: at most 243 distinct states exist, and one is built per
+#: simulated coherence decision, so discretisation returns shared instances
+#: instead of re-validating a fresh dataclass every step.
+_INTERNED: dict = {}
+
+
+def intern_state(
+    fully_coh_acc: int,
+    non_coh_acc_per_tile: int,
+    to_llc_per_tile: int,
+    tile_footprint: int,
+    acc_footprint: int,
+) -> CoherenceState:
+    """Return the shared :class:`CoherenceState` for the given attributes."""
+    key = (
+        fully_coh_acc,
+        non_coh_acc_per_tile,
+        to_llc_per_tile,
+        tile_footprint,
+        acc_footprint,
+    )
+    state = _INTERNED.get(key)
+    if state is None:
+        state = CoherenceState(*key)
+        _INTERNED[key] = state
+    return state
+
+
+#: Label under which snapshots count active fully-coherent accelerators.
+_FULL_COH_LABEL = CoherenceMode.FULL_COH.label
+
+
 def discretize_snapshot(snapshot: SystemSnapshot) -> CoherenceState:
     """Discretise a sensed :class:`SystemSnapshot` into a Table 3 state."""
-    from repro.soc.coherence import CoherenceMode  # local import to avoid cycles
-
-    return CoherenceState(
-        fully_coh_acc=_count_level(snapshot.active_count(CoherenceMode.FULL_COH)),
-        non_coh_acc_per_tile=_count_level(snapshot.non_coh_per_target_tile),
-        to_llc_per_tile=_count_level(snapshot.llc_users_per_target_tile),
-        tile_footprint=_footprint_level(
+    return intern_state(
+        _count_level(snapshot.active_per_mode.get(_FULL_COH_LABEL, 0)),
+        _count_level(snapshot.non_coh_per_target_tile),
+        _count_level(snapshot.llc_users_per_target_tile),
+        _footprint_level(
             snapshot.tile_footprint_bytes, snapshot.l2_bytes, snapshot.llc_partition_bytes
         ),
-        acc_footprint=_footprint_level(
+        _footprint_level(
             snapshot.target_footprint_bytes, snapshot.l2_bytes, snapshot.llc_partition_bytes
         ),
     )

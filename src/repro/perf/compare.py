@@ -1,0 +1,134 @@
+"""Tolerance-gated comparison of two perf reports.
+
+The comparison applies two gates per benchmark present in both reports:
+
+* **Determinism gate** — the ``work`` count and result ``checksum`` must
+  match exactly.  A mismatch means the two revisions simulated different
+  things, so their timings are not comparable; the PR must either restore
+  bit-identical behaviour or regenerate the baseline and explain why.
+* **Rate gate** — the new work rate must not fall below the old rate by
+  more than the given tolerance (``0.5`` allows a 50 % rate drop).  The
+  gate is deliberately coarse when comparing across machines: it exists to
+  catch algorithmic regressions (an accidental O(address-range) walk, a
+  dropped cache), not percent-level noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CompareFinding:
+    """One per-benchmark verdict of a report comparison."""
+
+    name: str
+    ok: bool
+    kind: str
+    message: str
+
+
+def _entries(report: Dict[str, object]) -> Dict[str, Dict[str, object]]:
+    benchmarks = report.get("benchmarks")
+    if not isinstance(benchmarks, dict):
+        raise ConfigurationError("report has no benchmarks section")
+    return benchmarks
+
+
+def compare_reports(
+    old: Dict[str, object],
+    new: Dict[str, object],
+    tolerance: float,
+    check_determinism: bool = True,
+) -> List[CompareFinding]:
+    """Compare two reports; findings with ``ok=False`` fail the gate."""
+    if not 0.0 <= tolerance < 1.0:
+        raise ConfigurationError(f"tolerance must be in [0, 1), got {tolerance}")
+    if old.get("scale") != new.get("scale"):
+        return [
+            CompareFinding(
+                name="<scale>",
+                ok=False,
+                kind="scale",
+                message=(
+                    f"reports ran at different scales "
+                    f"({old.get('scale')!r} vs {new.get('scale')!r}); rerun at a matching scale"
+                ),
+            )
+        ]
+
+    findings: List[CompareFinding] = []
+    old_entries = _entries(old)
+    new_entries = _entries(new)
+    for name, new_entry in new_entries.items():
+        old_entry = old_entries.get(name)
+        if old_entry is None:
+            findings.append(
+                CompareFinding(name, True, "new", "no baseline entry (new benchmark)")
+            )
+            continue
+        if check_determinism:
+            if new_entry.get("work") != old_entry.get("work") or new_entry.get(
+                "checksum"
+            ) != old_entry.get("checksum"):
+                findings.append(
+                    CompareFinding(
+                        name,
+                        False,
+                        "determinism",
+                        (
+                            f"simulation changed: work {old_entry.get('work')} -> "
+                            f"{new_entry.get('work')}, checksum "
+                            f"{old_entry.get('checksum')} -> {new_entry.get('checksum')}"
+                        ),
+                    )
+                )
+                continue
+        old_rate = float(old_entry.get("rate", 0.0))
+        new_rate = float(new_entry.get("rate", 0.0))
+        floor = old_rate * (1.0 - tolerance)
+        if old_rate > 0 and new_rate < floor:
+            findings.append(
+                CompareFinding(
+                    name,
+                    False,
+                    "rate",
+                    (
+                        f"rate regressed beyond tolerance: {old_rate:.1f} -> "
+                        f"{new_rate:.1f} {new_entry.get('unit', '')}/s "
+                        f"(floor {floor:.1f} at tolerance {tolerance})"
+                    ),
+                )
+            )
+        else:
+            ratio = new_rate / old_rate if old_rate > 0 else float("inf")
+            findings.append(
+                CompareFinding(
+                    name,
+                    True,
+                    "rate",
+                    f"{old_rate:.1f} -> {new_rate:.1f} {new_entry.get('unit', '')}/s "
+                    f"({ratio:.2f}x)",
+                )
+            )
+    for name in old_entries:
+        if name not in new_entries:
+            findings.append(
+                CompareFinding(
+                    name, False, "missing", "benchmark present in baseline but not in new report"
+                )
+            )
+    return findings
+
+
+def render_findings(findings: List[CompareFinding]) -> str:
+    """Human-readable table of comparison findings."""
+    lines = []
+    width = max((len(f.name) for f in findings), default=4)
+    for finding in findings:
+        status = "ok  " if finding.ok else "FAIL"
+        lines.append(f"{status}  {finding.name:<{width}}  {finding.message}")
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""cProfile driver for the perf benchmarks.
+
+``python -m repro.perf profile <benchmark>`` runs one benchmark under the
+deterministic profiler and prints the hottest functions, which is how the
+hot-path optimisations in this repository were found in the first place:
+profile, fix the top entry, re-run ``repro.perf run``, repeat.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+
+from repro.errors import ConfigurationError
+from repro.perf.bench import run_benchmark
+
+#: Sort keys accepted by ``profile --sort``.
+SORT_KEYS = ("tottime", "cumulative", "ncalls")
+
+
+def profile_benchmark(
+    name: str, quick: bool = False, sort: str = "tottime", limit: int = 25
+) -> str:
+    """Profile one benchmark; return the formatted hot-function table."""
+    if sort not in SORT_KEYS:
+        raise ConfigurationError(
+            f"unknown sort key {sort!r}; known: {', '.join(SORT_KEYS)}"
+        )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_benchmark(name, quick=quick)
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(sort).print_stats(limit)
+    header = (
+        f"benchmark {result.name}: {result.wall_s:.3f}s wall, "
+        f"{result.work} {result.unit} ({result.rate:.1f}/s)\n"
+    )
+    return header + stream.getvalue()

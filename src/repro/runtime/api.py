@@ -271,10 +271,7 @@ class EspRuntime:
     # Helpers and bookkeeping
     # ------------------------------------------------------------------
     def _footprint_per_tile(self, buffer: Buffer, footprint_bytes: int) -> Dict[int, int]:
-        footprint: Dict[int, int] = {}
-        for segment in buffer.slice(0, footprint_bytes):
-            footprint[segment.mem_tile] = footprint.get(segment.mem_tile, 0) + segment.size
-        return footprint
+        return buffer.footprint_within(footprint_bytes)
 
     def clear_results(self) -> None:
         """Drop the accumulated invocation results."""

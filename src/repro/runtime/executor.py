@@ -33,8 +33,21 @@ class ExecutionRecord:
     stats: TransferStats = field(default_factory=TransferStats)
 
 
+#: Memo tables for the pure stream-geometry helpers.  The same window and
+#: wrap computations repeat on every invocation of the same accelerator and
+#: footprint, so both helpers cache their (read-only) results; the caps
+#: bound memory on pathological workload diversity.
+_WINDOWS_MEMO: dict = {}
+_WRAP_MEMO: dict = {}
+_MEMO_CAP = 16384
+
+
 def _stream_windows(total_bytes: int, iterations: int) -> List[Tuple[int, int]]:
     """Split a virtual stream of ``total_bytes`` into per-iteration windows."""
+    key = (total_bytes, iterations)
+    cached = _WINDOWS_MEMO.get(key)
+    if cached is not None:
+        return cached
     windows: List[Tuple[int, int]] = []
     for index in range(iterations):
         start = round(index * total_bytes / iterations)
@@ -43,6 +56,9 @@ def _stream_windows(total_bytes: int, iterations: int) -> List[Tuple[int, int]]:
             windows.append((start, end - start))
         else:
             windows.append((start, 0))
+    if len(_WINDOWS_MEMO) >= _MEMO_CAP:
+        _WINDOWS_MEMO.clear()
+    _WINDOWS_MEMO[key] = windows
     return windows
 
 
@@ -55,6 +71,10 @@ def _wrap_region(offset: int, nbytes: int, region_bytes: int) -> List[Tuple[int,
     """
     if nbytes <= 0 or region_bytes <= 0:
         return []
+    key = (offset, nbytes, region_bytes)
+    cached = _WRAP_MEMO.get(key)
+    if cached is not None:
+        return cached
     pieces: List[Tuple[int, int]] = []
     remaining = nbytes
     cursor = offset % region_bytes
@@ -63,6 +83,9 @@ def _wrap_region(offset: int, nbytes: int, region_bytes: int) -> List[Tuple[int,
         pieces.append((cursor, take))
         remaining -= take
         cursor = 0
+    if len(_WRAP_MEMO) >= _MEMO_CAP:
+        _WRAP_MEMO.clear()
+    _WRAP_MEMO[key] = pieces
     return pieces
 
 
@@ -128,16 +151,17 @@ class InvocationExecutor:
             cursor = finish
             for piece_offset, piece_bytes in _wrap_region(read_offset, read_bytes, read_region):
                 segments = self._segments(buffer, piece_offset, piece_bytes)
-                cursor, piece_stats = self.soc.datapath.dma_read(
+                cursor, _ = self.soc.datapath.dma_read(
                     cursor,
                     request.tile_name,
                     segments,
                     mode,
                     descriptor.burst_bytes,
                     private_cache,
+                    stats=stats,
                 )
-                stats.merge(piece_stats)
-            finish = max(finish, cursor)
+            if cursor > finish:
+                finish = cursor
 
             write_virtual_offset, write_bytes = write_windows[index]
             cursor = finish
@@ -145,22 +169,23 @@ class InvocationExecutor:
                 write_virtual_offset, write_bytes, write_region
             ):
                 segments = self._segments(buffer, write_offset + piece_offset, piece_bytes)
-                cursor, piece_stats = self.soc.datapath.dma_write(
+                cursor, _ = self.soc.datapath.dma_write(
                     cursor,
                     request.tile_name,
                     segments,
                     mode,
                     descriptor.burst_bytes,
                     private_cache,
+                    stats=stats,
                 )
-                stats.merge(piece_stats)
-            finish = max(finish, cursor)
+            if cursor > finish:
+                finish = cursor
 
             comm_time = finish - iteration_start
             comm_cycles += comm_time
             # Communication and computation overlap within an iteration:
             # the iteration takes as long as the slower of the two.
-            duration = max(comm_time, compute_chunk)
+            duration = comm_time if comm_time > compute_chunk else compute_chunk
             yield ResumeAt(iteration_start + duration)
 
         accelerator_cycles = engine.now - start_time

@@ -11,63 +11,136 @@ discretised state are computed from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
 from repro.soc.coherence import CoherenceMode
 
+#: Template for the per-mode active counts of a snapshot (one snapshot is
+#: taken per invocation, so the labels are resolved once at import time).
+_ZERO_PER_MODE: Dict[str, int] = {mode.value: 0 for mode in CoherenceMode}
 
-@dataclass
+
 class ActiveInvocation:
     """Bookkeeping for one accelerator invocation currently in flight."""
 
-    tile_name: str
-    accelerator_name: str
-    mode: CoherenceMode
-    footprint_bytes: int
-    footprint_per_tile: Dict[int, int]
-    start_time: float
+    __slots__ = (
+        "tile_name",
+        "accelerator_name",
+        "mode",
+        "footprint_bytes",
+        "footprint_per_tile",
+        "start_time",
+    )
+
+    def __init__(
+        self,
+        tile_name: str,
+        accelerator_name: str,
+        mode: CoherenceMode,
+        footprint_bytes: int,
+        footprint_per_tile: Dict[int, int],
+        start_time: float,
+    ) -> None:
+        self.tile_name = tile_name
+        self.accelerator_name = accelerator_name
+        self.mode = mode
+        self.footprint_bytes = footprint_bytes
+        self.footprint_per_tile = footprint_per_tile
+        self.start_time = start_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ActiveInvocation(tile_name={self.tile_name!r}, "
+            f"accelerator_name={self.accelerator_name!r}, mode={self.mode}, "
+            f"footprint_bytes={self.footprint_bytes})"
+        )
 
 
-@dataclass(frozen=True)
 class SystemSnapshot:
     """The sensed state used to make one coherence decision.
 
     All values are raw (continuous); the RL module discretises them into
     the Table 3 state attributes, while the manual heuristic consumes them
-    directly.
+    directly.  One snapshot is taken per invocation, so the class uses
+    ``__slots__`` instead of a dataclass; treat instances as read-only.
+
+    Attributes
+    ----------
+    target_footprint_bytes:
+        Footprint of the invocation about to start.
+    target_mem_tiles:
+        Memory tiles (LLC partitions / DRAM controllers) the target uses.
+    active_per_mode:
+        Number of active accelerators per coherence-mode label (not
+        counting the target, which has not started yet).
+    non_coh_per_target_tile:
+        Average number of active non-coherent accelerators using each of
+        the target's memory partitions.
+    llc_users_per_target_tile:
+        Average number of active accelerators whose requests reach each of
+        the target's LLC partitions (LLC-coherent, coherent-DMA, or
+        fully-coherent accelerators).
+    tile_footprint_bytes:
+        Average bytes of active accelerator data mapped to each of the
+        target's memory partitions (including the target's own data).
+    active_footprint_bytes:
+        Total bytes of data of all active accelerators (excluding target).
+    active_accelerators:
+        Number of active accelerators (excluding the target).
+    l2_bytes / llc_partition_bytes / llc_total_bytes:
+        Platform capacities, carried along so policies do not need a SoC
+        reference: private L2 size, one LLC partition, the aggregate LLC.
     """
 
-    #: Footprint of the invocation about to start.
-    target_footprint_bytes: int
-    #: Memory tiles (LLC partitions / DRAM controllers) the target uses.
-    target_mem_tiles: tuple
-    #: Number of active accelerators per coherence mode (not counting the
-    #: target, which has not started yet).
-    active_per_mode: Mapping[str, int]
-    #: Average number of active non-coherent accelerators using each of the
-    #: target's memory partitions.
-    non_coh_per_target_tile: float
-    #: Average number of active accelerators whose requests reach each of
-    #: the target's LLC partitions (LLC-coherent, coherent-DMA, or
-    #: fully-coherent accelerators).
-    llc_users_per_target_tile: float
-    #: Average bytes of active accelerator data mapped to each of the
-    #: target's memory partitions (including the target's own data).
-    tile_footprint_bytes: float
-    #: Total bytes of data of all active accelerators (excluding target).
-    active_footprint_bytes: int
-    #: Number of active accelerators (excluding the target).
-    active_accelerators: int
-    #: Platform capacities, carried along so policies do not need a SoC
-    #: reference: private L2 size, one LLC partition, and the aggregate LLC.
-    l2_bytes: int = 0
-    llc_partition_bytes: int = 0
-    llc_total_bytes: int = 0
+    __slots__ = (
+        "target_footprint_bytes",
+        "target_mem_tiles",
+        "active_per_mode",
+        "non_coh_per_target_tile",
+        "llc_users_per_target_tile",
+        "tile_footprint_bytes",
+        "active_footprint_bytes",
+        "active_accelerators",
+        "l2_bytes",
+        "llc_partition_bytes",
+        "llc_total_bytes",
+    )
+
+    def __init__(
+        self,
+        target_footprint_bytes: int,
+        target_mem_tiles: tuple,
+        active_per_mode: Mapping[str, int],
+        non_coh_per_target_tile: float,
+        llc_users_per_target_tile: float,
+        tile_footprint_bytes: float,
+        active_footprint_bytes: int,
+        active_accelerators: int,
+        l2_bytes: int = 0,
+        llc_partition_bytes: int = 0,
+        llc_total_bytes: int = 0,
+    ) -> None:
+        self.target_footprint_bytes = target_footprint_bytes
+        self.target_mem_tiles = target_mem_tiles
+        self.active_per_mode = active_per_mode
+        self.non_coh_per_target_tile = non_coh_per_target_tile
+        self.llc_users_per_target_tile = llc_users_per_target_tile
+        self.tile_footprint_bytes = tile_footprint_bytes
+        self.active_footprint_bytes = active_footprint_bytes
+        self.active_accelerators = active_accelerators
+        self.l2_bytes = l2_bytes
+        self.llc_partition_bytes = llc_partition_bytes
+        self.llc_total_bytes = llc_total_bytes
 
     def active_count(self, mode: CoherenceMode) -> int:
         """Number of active accelerators currently using ``mode``."""
         return int(self.active_per_mode.get(mode.label, 0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SystemSnapshot(target_footprint_bytes={self.target_footprint_bytes}, "
+            f"active_accelerators={self.active_accelerators})"
+        )
 
 
 class SystemStatus:
@@ -129,7 +202,7 @@ class SystemStatus:
         if not target_tiles:
             target_tiles = tuple(range(self.num_mem_tiles))
 
-        per_mode: Dict[str, int] = {mode.label: 0 for mode in CoherenceMode}
+        per_mode: Dict[str, int] = dict(_ZERO_PER_MODE)
         non_coh_users = {tile: 0 for tile in target_tiles}
         llc_users = {tile: 0 for tile in target_tiles}
         tile_footprint = {
@@ -138,15 +211,18 @@ class SystemStatus:
         active_footprint = 0
 
         for invocation in self._active.values():
-            per_mode[invocation.mode.label] += 1
+            mode = invocation.mode
+            per_mode[mode.value] += 1
             active_footprint += invocation.footprint_bytes
+            is_non_coh = mode is CoherenceMode.NON_COH_DMA
+            uses_llc = mode.uses_llc
             for mem_tile, nbytes in invocation.footprint_per_tile.items():
                 if mem_tile not in tile_footprint:
                     continue
                 tile_footprint[mem_tile] += nbytes
-                if invocation.mode is CoherenceMode.NON_COH_DMA:
+                if is_non_coh:
                     non_coh_users[mem_tile] += 1
-                if invocation.mode.uses_llc:
+                if uses_llc:
                     llc_users[mem_tile] += 1
 
         num_target_tiles = max(len(target_tiles), 1)

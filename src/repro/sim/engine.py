@@ -15,13 +15,18 @@ This is intentionally much smaller than simpy: the SoC model only needs
 time-ordered interleaving of invocation processes, because contention on
 shared hardware is resolved analytically by the FCFS resources in
 :mod:`repro.sim.resources`.
+
+The :meth:`Engine.run` loop dispatches every simulated event, so it is the
+single hottest call site of the whole library (see ``repro.perf``): the
+loop keeps the heap primitives and queue in locals, and
+:class:`Process` uses ``__slots__`` to keep per-event attribute access
+cheap.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Generator, List, Optional
 
 from repro.errors import SimulationError
@@ -30,23 +35,50 @@ from repro.errors import SimulationError
 ProcessGenerator = Generator[object, float, None]
 
 
-@dataclass(frozen=True)
 class ResumeAt:
     """Yield value meaning "resume this process at absolute time ``time``"."""
 
-    time: float
+    __slots__ = ("time",)
+
+    def __init__(self, time: float) -> None:
+        self.time = time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResumeAt(time={self.time})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ResumeAt) and other.time == self.time
+
+    def __hash__(self) -> int:
+        return hash((ResumeAt, self.time))
 
 
-@dataclass
 class Process:
     """Bookkeeping for one running generator."""
 
-    name: str
-    generator: ProcessGenerator = field(repr=False)
-    finished: bool = False
-    start_time: float = 0.0
-    finish_time: Optional[float] = None
-    on_complete: Optional[Callable[["Process"], None]] = field(default=None, repr=False)
+    __slots__ = ("name", "generator", "finished", "start_time", "finish_time", "on_complete")
+
+    def __init__(
+        self,
+        name: str,
+        generator: ProcessGenerator,
+        finished: bool = False,
+        start_time: float = 0.0,
+        finish_time: Optional[float] = None,
+        on_complete: Optional[Callable[["Process"], None]] = None,
+    ) -> None:
+        self.name = name
+        self.generator = generator
+        self.finished = finished
+        self.start_time = start_time
+        self.finish_time = finish_time
+        self.on_complete = on_complete
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Process(name={self.name!r}, finished={self.finished}, "
+            f"start_time={self.start_time}, finish_time={self.finish_time})"
+        )
 
 
 class Engine:
@@ -105,25 +137,47 @@ class Engine:
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
         """Run until no events remain (or ``until`` / ``max_events`` is hit).
 
-        Returns the simulation time at which execution stopped.
+        Returns the simulation time at which execution stopped.  Exhausting
+        the ``max_events`` budget while events are still pending raises a
+        :class:`~repro.errors.SimulationError` naming the number of pending
+        events — a silent partial run would be indistinguishable from a
+        completed one (see ``docs/architecture.md``).
         """
-        while self._queue:
-            time, _seq, process, first = heapq.heappop(self._queue)
-            if until is not None and time > until:
-                # Put the event back — with its original sequence number, so
-                # same-time events keep their order across a pause/resume.
-                heapq.heappush(self._queue, (time, _seq, process, first))
-                self.now = until
-                return self.now
-            if time < self.now - 1e-9:
-                raise SimulationError(
-                    f"event time {time} precedes current time {self.now}"
-                )
-            self.now = max(self.now, time)
-            self._events_processed += 1
-            if self._events_processed > max_events:
-                raise SimulationError("event budget exhausted; likely a livelock")
-            self._step(process, first)
+        queue = self._queue
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        step = self._step
+        events_this_run = 0
+        # The per-event counter lives in a local for speed; the finally
+        # block folds it into the persistent count on every exit path
+        # (completion, pause at `until`, budget exhaustion, process error).
+        try:
+            while queue:
+                entry = heappop(queue)
+                time = entry[0]
+                if until is not None and time > until:
+                    # Put the event back — with its original sequence number,
+                    # so same-time events keep their order across a
+                    # pause/resume.
+                    heappush(queue, entry)
+                    self.now = until
+                    return self.now
+                if time > self.now:
+                    self.now = time
+                elif time < self.now - 1e-9:
+                    raise SimulationError(
+                        f"event time {time} precedes current time {self.now}"
+                    )
+                if events_this_run >= max_events:
+                    heappush(queue, entry)
+                    raise SimulationError(
+                        f"event budget of {max_events} exhausted at t={self.now} "
+                        f"with {len(queue)} events still pending; likely a livelock"
+                    )
+                events_this_run += 1
+                step(entry[2], entry[3])
+        finally:
+            self._events_processed += events_this_run
         return self.now
 
     def _step(self, process: Process, first: bool) -> None:
@@ -138,8 +192,18 @@ class Engine:
             if process.on_complete is not None:
                 process.on_complete(process)
             return
-        resume_time = self._resolve_yield(yielded)
-        self._push(resume_time, process, first=False)
+        # Inline fast path for the overwhelmingly common yield of a plain
+        # delay; ResumeAt and error cases take the slow path below.
+        cls = type(yielded)
+        if cls is float or cls is int:
+            if yielded < 0:
+                raise SimulationError(f"process yielded a negative delay {yielded}")
+            resume_time = self.now + yielded
+        else:
+            resume_time = self._resolve_yield(yielded)
+        heapq.heappush(
+            self._queue, (resume_time, next(self._sequence), process, False)
+        )
 
     def _resolve_yield(self, yielded: object) -> float:
         if isinstance(yielded, ResumeAt):
@@ -148,7 +212,7 @@ class Engine:
                 raise SimulationError(
                     f"process asked to resume in the past ({target} < {self.now})"
                 )
-            return max(target, self.now)
+            return target if target > self.now else self.now
         if isinstance(yielded, (int, float)):
             delay = float(yielded)
             if delay < 0:

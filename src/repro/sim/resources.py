@@ -11,24 +11,35 @@ This captures the qualitative contention behaviour the paper measures in
 Figure 3: when many accelerators funnel traffic into the same LLC partition
 or DRAM controller, each sees its effective bandwidth shrink and its
 latency grow, while private paths are unaffected.
+
+``serve`` is called once per DMA chunk per resource, which puts it on the
+simulation's hot path — both classes use ``__slots__`` and the method body
+avoids redundant conversions (see ``repro.perf``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.errors import SimulationError
 
 
-@dataclass
 class ResourceStats:
     """Usage counters for one shared resource."""
 
-    requests: int = 0
-    bytes_served: int = 0
-    busy_cycles: float = 0.0
-    queue_cycles: float = 0.0
+    __slots__ = ("requests", "bytes_served", "busy_cycles", "queue_cycles")
+
+    def __init__(
+        self,
+        requests: int = 0,
+        bytes_served: int = 0,
+        busy_cycles: float = 0.0,
+        queue_cycles: float = 0.0,
+    ) -> None:
+        self.requests = requests
+        self.bytes_served = bytes_served
+        self.busy_cycles = busy_cycles
+        self.queue_cycles = queue_cycles
 
     def as_dict(self) -> Dict[str, float]:
         """Return the counters as a plain dictionary (for reports)."""
@@ -39,8 +50,13 @@ class ResourceStats:
             "queue_cycles": self.queue_cycles,
         }
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResourceStats(requests={self.requests}, bytes_served={self.bytes_served}, "
+            f"busy_cycles={self.busy_cycles}, queue_cycles={self.queue_cycles})"
+        )
 
-@dataclass
+
 class BandwidthResource:
     """FCFS server with fixed latency and finite bandwidth.
 
@@ -54,19 +70,18 @@ class BandwidthResource:
         Fixed cycles added to every request (pipeline / access latency).
     """
 
-    name: str
-    bytes_per_cycle: float
-    latency: float = 0.0
-    next_free: float = field(default=0.0, init=False)
-    stats: ResourceStats = field(default_factory=ResourceStats, init=False)
+    __slots__ = ("name", "bytes_per_cycle", "latency", "next_free", "stats")
 
-    def __post_init__(self) -> None:
-        if self.bytes_per_cycle <= 0:
-            raise SimulationError(
-                f"resource {self.name!r} must have positive bandwidth"
-            )
-        if self.latency < 0:
-            raise SimulationError(f"resource {self.name!r} has negative latency")
+    def __init__(self, name: str, bytes_per_cycle: float, latency: float = 0.0) -> None:
+        if bytes_per_cycle <= 0:
+            raise SimulationError(f"resource {name!r} must have positive bandwidth")
+        if latency < 0:
+            raise SimulationError(f"resource {name!r} has negative latency")
+        self.name = name
+        self.bytes_per_cycle = bytes_per_cycle
+        self.latency = latency
+        self.next_free = 0.0
+        self.stats = ResourceStats()
 
     def service_time(self, nbytes: float) -> float:
         """Return the uncontended service time for a request of ``nbytes``."""
@@ -82,15 +97,21 @@ class BandwidthResource:
         """
         if nbytes < 0:
             raise SimulationError(f"negative transfer size {nbytes}")
-        start = max(float(now), self.next_free)
-        busy = max(float(nbytes), 0.0) / self.bytes_per_cycle
-        finish = start + self.latency + busy
+        now = float(now)
+        next_free = self.next_free
+        start = now if now > next_free else next_free
+        latency = self.latency
+        busy = float(nbytes) / self.bytes_per_cycle
+        finish = start + latency + busy
         self.next_free = finish
-        self.stats.requests += 1
-        self.stats.bytes_served += int(nbytes)
-        self.stats.busy_cycles += self.latency + busy
-        self.stats.queue_cycles += start - float(now)
-        return finish + max(extra_latency, 0.0)
+        stats = self.stats
+        stats.requests += 1
+        stats.bytes_served += int(nbytes)
+        stats.busy_cycles += latency + busy
+        stats.queue_cycles += start - now
+        if extra_latency > 0.0:
+            return finish + extra_latency
+        return finish
 
     def peek(self, now: float, nbytes: float) -> float:
         """Return the completion time a request *would* get, without booking it."""
@@ -107,3 +128,9 @@ class BandwidthResource:
         """Clear the queue state and counters (used between experiments)."""
         self.next_free = 0.0
         self.stats = ResourceStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BandwidthResource(name={self.name!r}, "
+            f"bytes_per_cycle={self.bytes_per_cycle}, latency={self.latency})"
+        )

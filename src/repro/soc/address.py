@@ -12,6 +12,7 @@ multiple DRAM channels.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Sequence, Tuple
 
@@ -41,6 +42,19 @@ class Buffer:
     size: int
     segments: Tuple[BufferSegment, ...]
 
+    def __post_init__(self) -> None:
+        # Cumulative buffer-relative start offset of each segment, so that
+        # slice() can bisect to the first covering segment instead of
+        # scanning from the front on every DMA chunk.
+        starts: List[int] = []
+        covered = 0
+        for segment in self.segments:
+            starts.append(covered)
+            covered += segment.size
+        self._segment_starts = starts
+        self._slice_memo: Dict[Tuple[int, int], List[BufferSegment]] = {}
+        self._footprint_memo: Dict[int, Dict[int, int]] = {}
+
     @property
     def mem_tiles(self) -> Tuple[int, ...]:
         """Memory tiles (partitions) that hold at least one byte of data."""
@@ -57,11 +71,29 @@ class Buffer:
         """Iterate over the buffer's segments in address order."""
         return iter(self.segments)
 
+    def footprint_within(self, nbytes: int) -> Dict[int, int]:
+        """Return ``{mem_tile: bytes}`` for the first ``nbytes`` of the buffer.
+
+        The runtime asks this for every invocation of the same buffer and
+        footprint, so results are memoized; callers must treat the returned
+        mapping as read-only.
+        """
+        cached = self._footprint_memo.get(nbytes)
+        if cached is not None:
+            return cached
+        footprint: Dict[int, int] = {}
+        for segment in self.slice(0, nbytes):
+            footprint[segment.mem_tile] = footprint.get(segment.mem_tile, 0) + segment.size
+        self._footprint_memo[nbytes] = footprint
+        return footprint
+
     def slice(self, offset: int, nbytes: int) -> List[BufferSegment]:
         """Return the segments covering ``[offset, offset + nbytes)`` of the buffer.
 
         Offsets are relative to the start of the buffer (not physical
-        addresses); the returned segments carry physical addresses.
+        addresses); the returned segments carry physical addresses.  The
+        executor re-slices the same windows on every invocation, so results
+        are memoized; callers must treat the returned list as read-only.
         """
         if offset < 0 or nbytes < 0:
             raise AllocationError("negative slice bounds")
@@ -69,15 +101,20 @@ class Buffer:
             raise AllocationError(
                 f"slice [{offset}, {offset + nbytes}) exceeds buffer of {self.size} bytes"
             )
+        key = (offset, nbytes)
+        memo = self._slice_memo
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
         result: List[BufferSegment] = []
-        remaining = nbytes
-        cursor = offset
-        covered = 0
-        for segment in self.segments:
-            seg_lo = covered
-            seg_hi = covered + segment.size
-            if cursor < seg_hi and remaining > 0:
-                inner = max(cursor, seg_lo) - seg_lo
+        if nbytes > 0:
+            starts = self._segment_starts
+            index = bisect_right(starts, offset) - 1
+            remaining = nbytes
+            cursor = offset
+            while remaining > 0 and index < len(starts):
+                segment = self.segments[index]
+                inner = cursor - starts[index]
                 take = min(segment.size - inner, remaining)
                 result.append(
                     BufferSegment(
@@ -88,9 +125,10 @@ class Buffer:
                 )
                 remaining -= take
                 cursor += take
-            covered = seg_hi
-            if remaining == 0:
-                break
+                index += 1
+        if len(memo) >= 4096:
+            memo.clear()
+        memo[key] = result
         return result
 
 

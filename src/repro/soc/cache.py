@@ -13,15 +13,28 @@ the coherence-mode data paths need:
   lines had to be written back and how many were simply invalidated;
 * ``invalidate_line`` / ``recall_line`` — directory-initiated removal of a
   single line, used by the coherent-DMA recall mechanism.
+
+This module is on the hot path of every simulated DMA transfer, so the
+range operations are written for speed: geometry values are hoisted into
+locals, a resident-line counter keeps empty-cache operations O(1), and
+``flush_range`` walks whichever is smaller — the address range or the
+cache contents — so flushing a huge buffer through a small cache costs
+O(resident lines), not O(buffer size).  ``repro.perf`` benchmarks these
+paths and ``tests/test_perf_equivalence.py`` checks them against a naive
+reference implementation.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+
+#: Sentinel bounds of an empty cache (no address can satisfy lo <= a <= hi).
+_EMPTY_LO = 1 << 62
+_EMPTY_HI = -1
 
 
 @dataclass
@@ -61,15 +74,24 @@ class CacheStats:
         return self.misses / self.accesses if self.accesses else 0.0
 
 
-@dataclass
 class RangeAccessResult:
     """Outcome of accessing a byte range through the cache."""
 
-    lines: int = 0
-    hits: int = 0
-    misses: int = 0
-    evicted_dirty: List[int] = field(default_factory=list)
-    evicted_clean: int = 0
+    __slots__ = ("lines", "hits", "misses", "evicted_dirty", "evicted_clean")
+
+    def __init__(
+        self,
+        lines: int = 0,
+        hits: int = 0,
+        misses: int = 0,
+        evicted_dirty: Optional[List[int]] = None,
+        evicted_clean: int = 0,
+    ) -> None:
+        self.lines = lines
+        self.hits = hits
+        self.misses = misses
+        self.evicted_dirty = evicted_dirty if evicted_dirty is not None else []
+        self.evicted_clean = evicted_clean
 
     def merge(self, other: "RangeAccessResult") -> None:
         """Accumulate ``other`` into this result."""
@@ -83,6 +105,13 @@ class RangeAccessResult:
     def writeback_lines(self) -> int:
         """Number of dirty lines evicted (write-back traffic)."""
         return len(self.evicted_dirty)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RangeAccessResult(lines={self.lines}, hits={self.hits}, "
+            f"misses={self.misses}, evicted_dirty={self.evicted_dirty!r}, "
+            f"evicted_clean={self.evicted_clean})"
+        )
 
 
 class SetAssociativeCache:
@@ -115,6 +144,16 @@ class SetAssociativeCache:
         # One ordered dict per set: {line_address: dirty}.  The first entry
         # is the least recently used line.
         self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        # Resident-line count, kept in sync by every mutation so that
+        # emptiness checks and contents-vs-range walk decisions are O(1).
+        self._num_valid = 0
+        # Conservative bounds on resident line addresses ([lo, hi], only
+        # widened on insert, reset when the cache empties).  Flush and
+        # recall scans over address ranges that cannot intersect the
+        # contents return immediately — the common case when many threads
+        # work on disjoint buffers.
+        self._addr_lo = _EMPTY_LO
+        self._addr_hi = _EMPTY_HI
 
     # ------------------------------------------------------------------
     # Geometry helpers
@@ -130,9 +169,10 @@ class SetAssociativeCache:
         """Return the line addresses covering ``[start, start + nbytes)``."""
         if nbytes <= 0:
             return range(0)
-        first = self.line_address(start)
-        last = self.line_address(start + nbytes - 1)
-        return range(first, last + self.line_bytes, self.line_bytes)
+        line = self.line_bytes
+        first = (start // line) * line
+        last = ((start + nbytes - 1) // line) * line
+        return range(first, last + line, line)
 
     # ------------------------------------------------------------------
     # Single-line operations
@@ -144,26 +184,35 @@ class SetAssociativeCache:
 
         Returns ``(hit, evicted_line_or_None, evicted_dirty)``.
         """
-        line_addr = self.line_address(line_addr)
-        cache_set = self._sets[self._set_index(line_addr)]
+        line = self.line_bytes
+        line_addr = (line_addr // line) * line
+        cache_set = self._sets[(line_addr // line) % self.num_sets]
+        stats = self.stats
         if line_addr in cache_set:
-            self.stats.hits += 1
-            dirty = cache_set.pop(line_addr)
-            cache_set[line_addr] = dirty or write
+            stats.hits += 1
+            if write and not cache_set[line_addr]:
+                cache_set[line_addr] = True
+            cache_set.move_to_end(line_addr)
             return True, None, False
 
-        self.stats.misses += 1
+        stats.misses += 1
         if not allocate:
             return False, None, False
         evicted_line: Optional[int] = None
         evicted_dirty = False
         if len(cache_set) >= self.ways:
             evicted_line, evicted_dirty = cache_set.popitem(last=False)
-            self.stats.evictions += 1
+            stats.evictions += 1
             if evicted_dirty:
-                self.stats.dirty_evictions += 1
-                self.stats.writebacks += 1
+                stats.dirty_evictions += 1
+                stats.writebacks += 1
+        else:
+            self._num_valid += 1
         cache_set[line_addr] = write
+        if line_addr < self._addr_lo:
+            self._addr_lo = line_addr
+        if line_addr > self._addr_hi:
+            self._addr_hi = line_addr
         return False, evicted_line, evicted_dirty
 
     def contains(self, byte_addr: int) -> bool:
@@ -181,6 +230,11 @@ class SetAssociativeCache:
         line_addr = self.line_address(byte_addr)
         cache_set = self._sets[self._set_index(line_addr)]
         dirty = cache_set.pop(line_addr, None)
+        if dirty is not None:
+            self._num_valid -= 1
+            if not self._num_valid:
+                self._addr_lo = _EMPTY_LO
+                self._addr_hi = _EMPTY_HI
         return bool(dirty)
 
     def recall_line(self, byte_addr: int) -> bool:
@@ -200,19 +254,169 @@ class SetAssociativeCache:
     ) -> RangeAccessResult:
         """Access every line in ``[start, start + nbytes)``."""
         result = RangeAccessResult()
-        for line_addr in self.lines_in_range(start, nbytes):
-            hit, evicted, evicted_dirty = self.access_line(line_addr, write, allocate)
-            result.lines += 1
-            if hit:
-                result.hits += 1
-            else:
-                result.misses += 1
-            if evicted is not None:
-                if evicted_dirty:
-                    result.evicted_dirty.append(evicted)
+        if nbytes <= 0:
+            return result
+        # Hot path: the per-line bookkeeping of access_line, inlined with
+        # the geometry and counters hoisted into locals.
+        line = self.line_bytes
+        num_sets = self.num_sets
+        ways = self.ways
+        sets = self._sets
+        stats = self.stats
+        evicted_dirty_lines = result.evicted_dirty
+        append_dirty = evicted_dirty_lines.append
+        hits = misses = evicted_clean = evictions = installed = 0
+        first_index = start // line
+        last_index = (start + nbytes - 1) // line
+        if allocate:
+            if first_index * line < self._addr_lo:
+                self._addr_lo = first_index * line
+            if last_index * line > self._addr_hi:
+                self._addr_hi = last_index * line
+        for line_index in range(first_index, last_index + 1):
+            line_addr = line_index * line
+            cache_set = sets[line_index % num_sets]
+            if line_addr in cache_set:
+                hits += 1
+                if write and not cache_set[line_addr]:
+                    cache_set[line_addr] = True
+                cache_set.move_to_end(line_addr)
+                continue
+            misses += 1
+            if not allocate:
+                continue
+            if len(cache_set) >= ways:
+                evicted_line, was_dirty = cache_set.popitem(last=False)
+                evictions += 1
+                if was_dirty:
+                    append_dirty(evicted_line)
                 else:
-                    result.evicted_clean += 1
+                    evicted_clean += 1
+            else:
+                installed += 1
+            cache_set[line_addr] = write
+        result.lines = last_index - first_index + 1
+        result.hits = hits
+        result.misses = misses
+        result.evicted_clean = evicted_clean
+        self._num_valid += installed
+        dirty_evictions = len(evicted_dirty_lines)
+        stats.hits += hits
+        stats.misses += misses
+        stats.evictions += evictions
+        stats.dirty_evictions += dirty_evictions
+        stats.writebacks += dirty_evictions
         return result
+
+    def access_line_run(
+        self, start: int, nbytes: int, write: bool
+    ) -> Tuple[int, int, List[int], List[int]]:
+        """Access every line in ``[start, start + nbytes)``, reporting misses.
+
+        Returns ``(hits, misses, miss_lines, evicted_dirty_lines)`` — the
+        batch equivalent of calling :meth:`access_line` per line, used by
+        the fully-coherent datapath, which needs the missing line addresses
+        (to fetch them from the LLC) and the dirty victims (to write them
+        back).  Statistics are updated exactly as per-line calls would.
+        """
+        hits = 0
+        miss_lines: List[int] = []
+        evicted_dirty: List[int] = []
+        if nbytes <= 0:
+            return 0, 0, miss_lines, evicted_dirty
+        line = self.line_bytes
+        num_sets = self.num_sets
+        ways = self.ways
+        sets = self._sets
+        stats = self.stats
+        first_index = start // line
+        last_index = (start + nbytes - 1) // line
+        if first_index * line < self._addr_lo:
+            self._addr_lo = first_index * line
+        if last_index * line > self._addr_hi:
+            self._addr_hi = last_index * line
+        append_miss = miss_lines.append
+        append_dirty = evicted_dirty.append
+        evictions = installed = 0
+        for line_index in range(first_index, last_index + 1):
+            line_addr = line_index * line
+            cache_set = sets[line_index % num_sets]
+            if line_addr in cache_set:
+                hits += 1
+                if write and not cache_set[line_addr]:
+                    cache_set[line_addr] = True
+                cache_set.move_to_end(line_addr)
+                continue
+            append_miss(line_addr)
+            if len(cache_set) >= ways:
+                evicted_line, was_dirty = cache_set.popitem(last=False)
+                evictions += 1
+                if was_dirty:
+                    append_dirty(evicted_line)
+            else:
+                installed += 1
+            cache_set[line_addr] = write
+        misses = len(miss_lines)
+        dirty_evictions = len(evicted_dirty)
+        self._num_valid += installed
+        stats.hits += hits
+        stats.misses += misses
+        stats.evictions += evictions
+        stats.dirty_evictions += dirty_evictions
+        stats.writebacks += dirty_evictions
+        return hits, misses, miss_lines, evicted_dirty
+
+    def access_lines(
+        self, line_addrs: List[int], write: bool
+    ) -> Tuple[int, int, int]:
+        """Access a list of (aligned) line addresses.
+
+        Returns ``(hits, misses, evicted_dirty_count)`` — the batch
+        equivalent of calling :meth:`access_line` per address when the
+        caller only needs the aggregate counts (the LLC side of the
+        fully-coherent miss path).  Statistics are updated identically.
+        """
+        if not line_addrs:
+            return 0, 0, 0
+        hits = 0
+        misses = 0
+        evicted_dirty = 0
+        line = self.line_bytes
+        num_sets = self.num_sets
+        ways = self.ways
+        sets = self._sets
+        stats = self.stats
+        lo = min(line_addrs)
+        hi = max(line_addrs)
+        if lo < self._addr_lo:
+            self._addr_lo = lo
+        if hi > self._addr_hi:
+            self._addr_hi = hi
+        evictions = installed = 0
+        for line_addr in line_addrs:
+            cache_set = sets[(line_addr // line) % num_sets]
+            if line_addr in cache_set:
+                hits += 1
+                if write and not cache_set[line_addr]:
+                    cache_set[line_addr] = True
+                cache_set.move_to_end(line_addr)
+                continue
+            misses += 1
+            if len(cache_set) >= ways:
+                _evicted_line, was_dirty = cache_set.popitem(last=False)
+                evictions += 1
+                if was_dirty:
+                    evicted_dirty += 1
+            else:
+                installed += 1
+            cache_set[line_addr] = write
+        self._num_valid += installed
+        stats.hits += hits
+        stats.misses += misses
+        stats.evictions += evictions
+        stats.dirty_evictions += evicted_dirty
+        stats.writebacks += evicted_dirty
+        return hits, misses, evicted_dirty
 
     def install_range(self, start: int, nbytes: int, dirty: bool = True) -> int:
         """Warm the cache with ``[start, start + nbytes)`` without statistics.
@@ -221,15 +425,31 @@ class SetAssociativeCache:
         warm-up are silently dropped (the corresponding traffic happened
         before the measured window).
         """
+        if nbytes <= 0:
+            return 0
+        line = self.line_bytes
+        num_sets = self.num_sets
+        ways = self.ways
+        sets = self._sets
         installed = 0
-        for line_addr in self.lines_in_range(start, nbytes):
-            cache_set = self._sets[self._set_index(line_addr)]
+        first_index = start // line
+        last_index = (start + nbytes - 1) // line
+        if first_index * line < self._addr_lo:
+            self._addr_lo = first_index * line
+        if last_index * line > self._addr_hi:
+            self._addr_hi = last_index * line
+        for line_index in range(first_index, last_index + 1):
+            line_addr = line_index * line
+            cache_set = sets[line_index % num_sets]
             if line_addr in cache_set:
-                was_dirty = cache_set.pop(line_addr)
-                cache_set[line_addr] = was_dirty or dirty
+                if dirty and not cache_set[line_addr]:
+                    cache_set[line_addr] = True
+                cache_set.move_to_end(line_addr)
             else:
-                if len(cache_set) >= self.ways:
+                if len(cache_set) >= ways:
                     cache_set.popitem(last=False)
+                else:
+                    self._num_valid += 1
                 cache_set[line_addr] = dirty
             installed += 1
         return installed
@@ -247,6 +467,9 @@ class SetAssociativeCache:
                 if dirty:
                     writebacks += 1
             cache_set.clear()
+        self._num_valid = 0
+        self._addr_lo = _EMPTY_LO
+        self._addr_hi = _EMPTY_HI
         self.stats.flush_writebacks += writebacks
         self.stats.flush_invalidations += invalidations
         return writebacks, invalidations
@@ -255,14 +478,40 @@ class SetAssociativeCache:
         """Flush only the given range; return ``(writebacks, invalidations)``."""
         writebacks = 0
         invalidations = 0
-        for line_addr in self.lines_in_range(start, nbytes):
-            cache_set = self._sets[self._set_index(line_addr)]
-            dirty = cache_set.pop(line_addr, None)
-            if dirty is None:
-                continue
-            invalidations += 1
-            if dirty:
-                writebacks += 1
+        if nbytes > 0 and self._num_valid:
+            line = self.line_bytes
+            first = (start // line) * line
+            last = ((start + nbytes - 1) // line) * line
+            if last < self._addr_lo or first > self._addr_hi:
+                return 0, 0
+            range_lines = (last - first) // line + 1
+            if range_lines <= self._num_valid:
+                # Few lines in the range: walk the address range.
+                num_sets = self.num_sets
+                sets = self._sets
+                for line_index in range(first // line, last // line + 1):
+                    dirty = sets[line_index % num_sets].pop(line_index * line, None)
+                    if dirty is None:
+                        continue
+                    invalidations += 1
+                    if dirty:
+                        writebacks += 1
+            else:
+                # Range larger than the cache contents: walk the (small)
+                # resident set instead — flushing a huge buffer costs
+                # O(resident lines), not O(buffer size).
+                for cache_set in self._sets:
+                    in_range = [
+                        addr for addr in cache_set if first <= addr <= last
+                    ]
+                    for addr in in_range:
+                        invalidations += 1
+                        if cache_set.pop(addr):
+                            writebacks += 1
+            self._num_valid -= invalidations
+            if not self._num_valid:
+                self._addr_lo = _EMPTY_LO
+                self._addr_hi = _EMPTY_HI
         self.stats.flush_writebacks += writebacks
         self.stats.flush_invalidations += invalidations
         return writebacks, invalidations
@@ -272,7 +521,7 @@ class SetAssociativeCache:
     # ------------------------------------------------------------------
     def valid_lines(self) -> int:
         """Number of valid lines currently resident."""
-        return sum(len(cache_set) for cache_set in self._sets)
+        return self._num_valid
 
     def dirty_lines(self) -> int:
         """Number of dirty lines currently resident."""
@@ -280,20 +529,37 @@ class SetAssociativeCache:
 
     def occupancy_bytes(self) -> int:
         """Bytes of valid data currently resident."""
-        return self.valid_lines() * self.line_bytes
+        return self._num_valid * self.line_bytes
 
     def occupancy_fraction(self) -> float:
         """Fraction of the cache capacity currently valid."""
         capacity_lines = self.num_sets * self.ways
-        return self.valid_lines() / capacity_lines if capacity_lines else 0.0
+        return self._num_valid / capacity_lines if capacity_lines else 0.0
 
     def resident_lines_in_range(self, start: int, nbytes: int) -> int:
         """Number of lines of ``[start, start + nbytes)`` currently resident."""
-        count = 0
-        for line_addr in self.lines_in_range(start, nbytes):
-            if line_addr in self._sets[self._set_index(line_addr)]:
-                count += 1
-        return count
+        if nbytes <= 0 or not self._num_valid:
+            return 0
+        line = self.line_bytes
+        first = (start // line) * line
+        last = ((start + nbytes - 1) // line) * line
+        if last < self._addr_lo or first > self._addr_hi:
+            return 0
+        range_lines = (last - first) // line + 1
+        if range_lines <= self._num_valid:
+            num_sets = self.num_sets
+            sets = self._sets
+            return sum(
+                1
+                for line_index in range(first // line, last // line + 1)
+                if line_index * line in sets[line_index % num_sets]
+            )
+        return sum(
+            1
+            for cache_set in self._sets
+            for addr in cache_set
+            if first <= addr <= last
+        )
 
     def resident_lines_within(self, start: int, nbytes: int) -> List[int]:
         """Return resident line addresses falling inside ``[start, start+nbytes)``.
@@ -301,23 +567,30 @@ class SetAssociativeCache:
         This walks the (small) cache contents rather than the (potentially
         huge) address range, which is what the coherent-DMA recall logic
         needs: it only cares about the few lines a private cache actually
-        holds.
+        holds.  An empty cache returns immediately.
         """
-        if nbytes <= 0:
+        if nbytes <= 0 or not self._num_valid:
             return []
         end = start + nbytes
-        resident: List[int] = []
-        for cache_set in self._sets:
-            for line_addr in cache_set:
-                if start - self.line_bytes < line_addr < end:
-                    if line_addr + self.line_bytes > start:
-                        resident.append(line_addr)
-        return resident
+        if end <= self._addr_lo or start >= self._addr_hi + self.line_bytes:
+            return []
+        lo = start - self.line_bytes
+        # A line overlaps [start, end) iff lo < addr < end (addr > lo is the
+        # same as addr + line_bytes > start for aligned addresses).
+        return [
+            addr
+            for cache_set in self._sets
+            for addr in cache_set
+            if lo < addr < end
+        ]
 
     def clear(self) -> None:
         """Drop all contents and statistics (used between experiments)."""
         for cache_set in self._sets:
             cache_set.clear()
+        self._num_valid = 0
+        self._addr_lo = _EMPTY_LO
+        self._addr_hi = _EMPTY_HI
         self.stats = CacheStats()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -79,14 +79,21 @@ COHERENCE_MODES: Tuple[CoherenceMode, ...] = (
 )
 
 
+#: Memoized label -> mode and mode -> canonical-index tables.  The lookups
+#: run once per simulated coherence decision, so they are dictionary reads
+#: rather than linear scans over the enum.
+_MODE_BY_LABEL: dict = {mode.value: mode for mode in COHERENCE_MODES}
+_MODE_INDEX: dict = {mode: index for index, mode in enumerate(COHERENCE_MODES)}
+
+
 def mode_from_label(label: str) -> CoherenceMode:
     """Parse a coherence mode from its short label (e.g. ``'coh-dma'``)."""
-    for mode in COHERENCE_MODES:
-        if mode.value == label:
-            return mode
-    raise CoherenceError(f"unknown coherence mode label {label!r}")
+    try:
+        return _MODE_BY_LABEL[label]
+    except KeyError:
+        raise CoherenceError(f"unknown coherence mode label {label!r}") from None
 
 
 def mode_index(mode: CoherenceMode) -> int:
     """Return the canonical index of ``mode`` in :data:`COHERENCE_MODES`."""
-    return COHERENCE_MODES.index(mode)
+    return _MODE_INDEX[mode]

@@ -17,18 +17,19 @@ exactly as the paper describes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.soc.dram import DramController
 
 
-@dataclass
 class AcceleratorCounters:
     """Cycle counters of one accelerator tile for one invocation."""
 
-    total_cycles: float = 0.0
-    comm_cycles: float = 0.0
+    __slots__ = ("total_cycles", "comm_cycles")
+
+    def __init__(self, total_cycles: float = 0.0, comm_cycles: float = 0.0) -> None:
+        self.total_cycles = total_cycles
+        self.comm_cycles = comm_cycles
 
     @property
     def comm_ratio(self) -> float:
@@ -37,17 +38,30 @@ class AcceleratorCounters:
             return 0.0
         return min(self.comm_cycles / self.total_cycles, 1.0)
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AcceleratorCounters(total_cycles={self.total_cycles}, "
+            f"comm_cycles={self.comm_cycles})"
+        )
 
-@dataclass
+
 class DdrSnapshot:
-    """A point-in-time reading of every DRAM controller's access counter."""
+    """A point-in-time reading of every DRAM controller's access counter.
 
-    per_tile: Dict[int, int] = field(default_factory=dict)
+    Two snapshots are taken per invocation (before/after), hence the
+    ``__slots__`` layout.
+    """
+
+    __slots__ = ("per_tile",)
+
+    def __init__(self, per_tile: Optional[Dict[int, int]] = None) -> None:
+        self.per_tile = per_tile if per_tile is not None else {}
 
     def delta(self, later: "DdrSnapshot") -> Dict[int, int]:
         """Per-tile difference ``later - self`` (counter overflow-free here)."""
+        later_per_tile = later.per_tile
         return {
-            tile: later.per_tile.get(tile, 0) - count
+            tile: later_per_tile.get(tile, 0) - count
             for tile, count in self.per_tile.items()
         }
 
@@ -55,6 +69,9 @@ class DdrSnapshot:
     def total(self) -> int:
         """Total accesses across all controllers."""
         return sum(self.per_tile.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DdrSnapshot(per_tile={self.per_tile!r})"
 
 
 class HardwareMonitors:

@@ -64,6 +64,10 @@ class MeshNoC:
         self.link_bytes_per_cycle = link_bytes_per_cycle
         self._positions: Dict[str, TileCoordinate] = {}
         self._mem_links: Dict[int, BandwidthResource] = {}
+        # Route latencies are pure functions of the (static) floorplan, so
+        # transfer() memoizes them per (src, dst) pair instead of paying two
+        # dictionary lookups and a hop computation per DMA chunk.
+        self._route_cache: Dict[Tuple[str, str], float] = {}
 
     # ------------------------------------------------------------------
     # Placement
@@ -77,6 +81,7 @@ class MeshNoC:
         if position.row < 0 or position.col < 0:
             raise ConfigurationError("tile positions must be non-negative")
         self._positions[tile_name] = position
+        self._route_cache.clear()
 
     def register_memory_tile(self, mem_tile: int, tile_name: str) -> None:
         """Create the shared ingress/egress link for a memory tile."""
@@ -127,8 +132,17 @@ class MeshNoC:
         tile's shared link (the contention point) and pays the route latency
         once (cut-through routing pipelines the flits across hops).
         """
-        link = self.memory_link(mem_tile)
-        latency = self.route_latency(src_tile, mem_tile_name)
+        try:
+            link = self._mem_links[mem_tile]
+        except KeyError:
+            raise ConfigurationError(
+                f"memory tile {mem_tile} has no registered NoC link"
+            ) from None
+        key = (src_tile, mem_tile_name)
+        latency = self._route_cache.get(key)
+        if latency is None:
+            latency = self.route_latency(src_tile, mem_tile_name)
+            self._route_cache[key] = latency
         return link.serve(now, nbytes, extra_latency=latency)
 
     # ------------------------------------------------------------------

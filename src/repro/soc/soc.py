@@ -10,7 +10,7 @@ It also owns the discrete-event engine on which invocation processes run.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.sim.engine import Engine
@@ -108,6 +108,7 @@ class Soc:
 
         # Monitors, datapath, engine.
         self.monitors = HardwareMonitors(self.dram_controllers)
+        self._recall_targets: Dict[str, List[SetAssociativeCache]] = {}
         self.datapath = Datapath(self)
         self.engine = Engine()
 
@@ -142,17 +143,23 @@ class Soc:
         """Private cache of an accelerator tile (``None`` if it has none)."""
         return self.accelerator_private_caches.get(acc_tile)
 
-    def private_caches_excluding(self, acc_tile: str) -> Iterator[SetAssociativeCache]:
+    def private_caches_excluding(self, acc_tile: str) -> List[SetAssociativeCache]:
         """All private caches except the given accelerator's own cache.
 
         This is the set a coherent-DMA request may need to recall data from:
-        the processors' L2 caches plus the other accelerators' caches.
+        the processors' L2 caches plus the other accelerators' caches.  The
+        cache population is fixed at construction, so the list is memoized
+        per tile (coherent DMA asks for it on every transfer).
         """
-        for cache in self.cpu_l2_caches:
-            yield cache
-        for name, cache in self.accelerator_private_caches.items():
-            if name != acc_tile:
-                yield cache
+        cached = self._recall_targets.get(acc_tile)
+        if cached is None:
+            cached = list(self.cpu_l2_caches) + [
+                cache
+                for name, cache in self.accelerator_private_caches.items()
+                if name != acc_tile
+            ]
+            self._recall_targets[acc_tile] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Data allocation and warm-up

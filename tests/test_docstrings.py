@@ -1,11 +1,12 @@
 """Docstring enforcement for the public API surface (mirrors ruff D1).
 
 CI's lint job runs ruff with the missing-docstring rules (D100-D104,
-D106) over ``repro/__init__.py``, ``repro.core``, and ``repro.scenarios``;
-this test applies the same policy with the standard library's ``ast`` so
-the check also runs in environments without ruff — every module, public
-class, and public function/method in those trees must carry a docstring
-whose first line is a non-empty summary.
+D106) over ``repro/__init__.py``, ``repro.core``, ``repro.scenarios``,
+``repro.sim``, ``repro.soc``, and ``repro.perf``; this test applies the
+same policy with the standard library's ``ast`` so the check also runs in
+environments without ruff — every module, public class, and public
+function/method in those trees must carry a docstring whose first line is
+a non-empty summary.
 """
 
 from __future__ import annotations
@@ -23,6 +24,9 @@ SCOPED_FILES: List[Path] = sorted(
     [SRC / "__init__.py"]
     + list((SRC / "core").rglob("*.py"))
     + list((SRC / "scenarios").rglob("*.py"))
+    + list((SRC / "sim").rglob("*.py"))
+    + list((SRC / "soc").rglob("*.py"))
+    + list((SRC / "perf").rglob("*.py"))
 )
 
 
@@ -78,3 +82,6 @@ def test_scope_covers_expected_modules():
     assert "__init__.py" in names
     assert any(name.startswith("core/") for name in names)
     assert any(name.startswith("scenarios/") for name in names)
+    assert any(name.startswith("sim/") for name in names)
+    assert any(name.startswith("soc/") for name in names)
+    assert any(name.startswith("perf/") for name in names)
