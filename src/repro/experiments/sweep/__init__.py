@@ -1,34 +1,61 @@
 """Parallel sweep orchestration for the experiment harnesses.
 
-The subsystem has three layers plus a CLI:
+The subsystem has five layers plus a CLI:
 
 * :mod:`repro.experiments.sweep.sweep` — declarative :class:`SweepSpec` /
   :class:`Job` grids with stable fingerprints and per-job RNG derivation;
-* :mod:`repro.experiments.sweep.pool` — :class:`SweepRunner`, a
-  ``multiprocessing`` executor with worker autodetection and a serial
-  fallback;
+* :mod:`repro.experiments.sweep.backends` — pluggable
+  :class:`ExecutionBackend` implementations (serial, process pool, thread
+  pool) behind one incremental-completion contract;
+* :mod:`repro.experiments.sweep.pool` — :class:`SweepRunner`, which
+  orchestrates cache, manifest, shard, and backend for each spec;
 * :mod:`repro.experiments.sweep.cache` — :class:`ResultCache`, an on-disk
   JSON store keyed by job fingerprints;
+* :mod:`repro.experiments.sweep.manifest` / ``shard`` / ``merge`` —
+  checkpointed sweep manifests, deterministic fingerprint sharding, and
+  the validated ``merge-shards`` fusion they enable;
 * :mod:`repro.experiments.sweep.cli` — ``python -m repro.experiments`` to
-  run any figure by name with ``--workers`` / ``--cache-dir`` / ``--no-cache``.
+  run any figure by name with ``--workers`` / ``--backend`` / ``--cache-dir``
+  / ``--resume`` / ``--shard``, plus the ``merge-shards`` subcommand.
 """
 
+from repro.experiments.sweep.backends import (
+    BACKEND_NAMES,
+    BACKENDS,
+    ExecutionBackend,
+    create_backend,
+)
 from repro.experiments.sweep.cache import ResultCache
+from repro.experiments.sweep.manifest import SweepManifest, grid_digest, payload_digest
+from repro.experiments.sweep.merge import MergeReport, discover_shard_manifests, merge_shards
 from repro.experiments.sweep.pool import (
     SweepResult,
     SweepRunner,
     autodetect_workers,
     run_spec,
 )
+from repro.experiments.sweep.shard import ShardIncompleteError, ShardSpec
 from repro.experiments.sweep.sweep import Job, SweepSpec, canonicalize
 
 __all__ = [
+    "BACKENDS",
+    "BACKEND_NAMES",
+    "ExecutionBackend",
     "Job",
+    "MergeReport",
     "ResultCache",
+    "ShardIncompleteError",
+    "ShardSpec",
+    "SweepManifest",
     "SweepResult",
     "SweepRunner",
     "SweepSpec",
     "autodetect_workers",
     "canonicalize",
+    "create_backend",
+    "discover_shard_manifests",
+    "grid_digest",
+    "merge_shards",
+    "payload_digest",
     "run_spec",
 ]

@@ -1,0 +1,67 @@
+"""Pluggable execution backends for the sweep runner.
+
+The package exposes a tiny registry mapping stable names to
+:class:`~repro.experiments.sweep.backends.base.ExecutionBackend`
+implementations:
+
+========== =========================================================
+``serial``  one job after another in the calling process (reference)
+``process`` a ``multiprocessing`` pool with a warned serial fallback
+``thread``  a ``concurrent.futures`` thread pool
+========== =========================================================
+
+All backends satisfy the same contract — every pending job executed
+exactly once, completions reported incrementally on the calling thread —
+and all produce bit-identical payloads, because determinism lives in the
+jobs (fingerprint-derived RNG streams), not in the executor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type, Union
+
+from repro.errors import SweepError
+from repro.experiments.sweep.backends.base import ExecutionBackend, ResultCallback
+from repro.experiments.sweep.backends.process import ProcessPoolBackend
+from repro.experiments.sweep.backends.serial import SerialBackend
+from repro.experiments.sweep.backends.thread import ThreadPoolBackend
+
+#: Registered backend classes, keyed by their stable names.
+BACKENDS: Dict[str, Type[ExecutionBackend]] = {
+    backend.name: backend
+    for backend in (SerialBackend, ProcessPoolBackend, ThreadPoolBackend)
+}
+
+#: Backend names in stable (sorted) order, for CLI choices and docs.
+BACKEND_NAMES: Tuple[str, ...] = tuple(sorted(BACKENDS))
+
+
+def create_backend(spec: Union[str, ExecutionBackend, None], workers: int) -> ExecutionBackend:
+    """Resolve a backend argument to an instance.
+
+    ``None`` selects the default policy: the process pool when more than
+    one worker is requested, otherwise serial.  A string is looked up in
+    the registry; an :class:`ExecutionBackend` instance passes through.
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if spec is None:
+        return ProcessPoolBackend() if workers > 1 else SerialBackend()
+    try:
+        return BACKENDS[spec]()
+    except KeyError:
+        raise SweepError(
+            f"unknown execution backend {spec!r}; choose from {', '.join(BACKEND_NAMES)}"
+        ) from None
+
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "ResultCallback",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "create_backend",
+]

@@ -1,0 +1,64 @@
+"""Multiprocessing pool execution with a warned serial fallback.
+
+This is the backend behind ``--workers N`` (N > 1): jobs are pickled into a
+``multiprocessing`` pool and their payloads stream back through
+``imap_unordered``, so the caller checkpoints each result as soon as the
+pool delivers it.  When a pool cannot be created at all (no ``fork``/
+semaphore support, or the runner is already inside a daemonic worker) the
+backend degrades to serial execution with a warning — results are
+bit-identical either way.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import warnings
+from typing import Sequence, Tuple
+
+from repro.experiments.sweep.backends.base import ExecutionBackend, ResultCallback
+from repro.experiments.sweep.backends.serial import SerialBackend, execute_job
+from repro.experiments.sweep.sweep import Job
+
+
+def _execute_job(job: Job) -> Tuple[str, dict]:
+    """Worker entry point: run one job, return ``(key, payload)``."""
+    return job.key, execute_job(job)
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fans jobs out over a ``multiprocessing`` pool of worker processes.
+
+    Results are consumed in completion order in the parent process, so
+    ``on_result`` (and therefore every cache/manifest write) runs in the
+    parent only — workers never see the cache.
+    """
+
+    name = "process"
+
+    def run(
+        self,
+        jobs: Sequence[Job],
+        workers: int,
+        on_result: ResultCallback,
+    ) -> int:
+        """Execute ``jobs`` on a pool, falling back to serial if none exists."""
+        if workers <= 1:
+            return SerialBackend().run(jobs, 1, on_result)
+        try:
+            pool = multiprocessing.get_context().Pool(processes=workers)
+        except Exception as exc:  # daemonic nesting, missing sem_open, ...
+            warnings.warn(
+                f"sweep: cannot create a {workers}-worker pool ({exc}); "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return SerialBackend().run(jobs, 1, on_result)
+        by_key = {job.key: job for job in jobs}
+        try:
+            with pool:
+                for key, payload in pool.imap_unordered(_execute_job, jobs):
+                    on_result(by_key[key], payload)
+        finally:
+            pool.join()
+        return workers

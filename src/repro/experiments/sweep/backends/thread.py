@@ -1,0 +1,54 @@
+"""Thread-pool execution for jobs that release the GIL or block on I/O.
+
+Simulation jobs are pure Python and therefore GIL-bound — for them the
+process backend is the one that actually scales.  The thread backend earns
+its keep where process pools cannot go: platforms without ``fork``/
+semaphore support, jobs dominated by I/O or native code, and debugging
+(breakpoints and shared state work, nothing is pickled).
+
+Safety relies on two standing guarantees: :meth:`Job.execute` deep-copies
+the parameters before calling the job function (so concurrently running
+jobs never share mutable state, even when specs share a ``setup`` object),
+and each job's RNG stream is derived from its own fingerprint (so
+scheduling order cannot leak into results).  Completed futures are drained
+on the calling thread, which is where ``on_result`` fires — the
+checkpointing contract of :mod:`~repro.experiments.sweep.backends.base`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from typing import Sequence
+
+from repro.experiments.sweep.backends.base import ExecutionBackend, ResultCallback
+from repro.experiments.sweep.backends.serial import execute_job
+from repro.experiments.sweep.sweep import Job
+
+
+class ThreadPoolBackend(ExecutionBackend):
+    """Fans jobs out over a ``concurrent.futures`` thread pool."""
+
+    name = "thread"
+
+    def run(
+        self,
+        jobs: Sequence[Job],
+        workers: int,
+        on_result: ResultCallback,
+    ) -> int:
+        """Execute ``jobs`` on ``workers`` threads, draining incrementally.
+
+        Fails fast: when a job raises, the not-yet-started jobs are
+        cancelled before the exception propagates (matching the serial and
+        process backends, which stop dispatching on the first failure).
+        """
+        workers = max(1, workers)
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            pending = {executor.submit(execute_job, job): job for job in jobs}
+            try:
+                for future in as_completed(pending):
+                    on_result(pending[future], future.result())
+            except BaseException:
+                executor.shutdown(wait=True, cancel_futures=True)
+                raise
+        return workers

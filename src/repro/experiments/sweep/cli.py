@@ -7,23 +7,40 @@ Examples
     python -m repro.experiments socs --workers 8
     python -m repro.experiments isolation --workers 4 --cache-dir .sweep-cache
     python -m repro.experiments phases --no-cache --full
+    python -m repro.experiments socs --shard 2/3          # one slice of the grid
+    python -m repro.experiments merge-shards --cache-dir .sweep-cache
+    python -m repro.experiments socs --resume             # continue a killed run
 
 Every figure runs at a reduced ("quick") scale by default so a laptop run
 finishes in minutes; ``--full`` switches to the paper-scale grids.  Results
 are cached on disk (``--cache-dir``, default ``.sweep-cache``) keyed by job
 fingerprints, so re-running a figure re-simulates only the jobs whose
 configuration or seed changed; ``--no-cache`` disables the cache entirely.
+Cached runs also checkpoint a per-sweep manifest (under
+``<cache-dir>/manifests`` unless ``--manifest-dir`` overrides it), which is
+what ``--resume``, ``--shard i/N``, and ``merge-shards`` build on — see
+``docs/execution.md`` for the full contract.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, TextIO
 
+from repro.errors import SweepError
+from repro.experiments.sweep.backends import BACKEND_NAMES
 from repro.experiments.sweep.cache import ResultCache
+from repro.experiments.sweep.merge import (
+    discover_shard_manifests,
+    fused_results,
+    merge_shards,
+)
 from repro.experiments.sweep.pool import SweepRunner, autodetect_workers
+from repro.experiments.sweep.shard import ShardIncompleteError, ShardSpec
 
 #: Figure name -> (description, runner function).  Each runner function
 #: takes the parsed arguments plus a SweepRunner and returns a report string.
@@ -164,18 +181,22 @@ FIGURES: Dict[str, FigureRunner] = {
 class _StatsRunner(SweepRunner):
     """A SweepRunner that accumulates per-spec execution statistics."""
 
-    def __init__(self, workers: Optional[int], cache: Optional[ResultCache]) -> None:
-        super().__init__(workers=workers, cache=cache)
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
         self.total_jobs = 0
         self.total_hits = 0
         self.total_executed = 0
+        self.total_resumed = 0
+        self.total_missing = 0
         self.max_workers_used = 1
 
     def run(self, spec):
         result = super().run(spec)
-        self.total_jobs += len(result)
+        self.total_jobs += len(result) + len(result.missing)
         self.total_hits += result.cache_hits
         self.total_executed += result.executed
+        self.total_resumed += result.resumed
+        self.total_missing += len(result.missing)
         self.max_workers_used = max(self.max_workers_used, result.workers_used)
         return result
 
@@ -185,6 +206,14 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _shard_arg(text: str) -> ShardSpec:
+    """Parse ``--shard I/N``, mapping SweepError onto a clean usage error."""
+    try:
+        return ShardSpec.parse(text)
+    except SweepError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -219,29 +248,194 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the paper-scale grid instead of the reduced quick grid",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("auto",) + BACKEND_NAMES,
+        default="auto",
+        help="execution backend (default: process pool when workers > 1)",
+    )
+    parser.add_argument(
+        "--manifest-dir",
+        default=None,
+        metavar="DIR",
+        help="sweep manifest location (default: <cache-dir>/manifests)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip jobs an existing manifest records complete "
+        "(digest-verified against the cache)",
+    )
+    parser.add_argument(
+        "--shard",
+        type=_shard_arg,
+        default=None,
+        metavar="I/N",
+        help="execute only shard I of N (fingerprint-hash partition); "
+        "fuse shards afterwards with the merge-shards subcommand",
+    )
     return parser
+
+
+def build_merge_parser() -> argparse.ArgumentParser:
+    """Parser of the ``merge-shards`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments merge-shards",
+        description="Validate shard manifests (disjoint, complete, digest-"
+        "consistent) and fuse them into one result set.",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".sweep-cache",
+        metavar="DIR",
+        help="merged result cache holding every shard's payloads "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--manifest-dir",
+        default=None,
+        metavar="DIR",
+        help="directory of the shard manifests (default: <cache-dir>/manifests)",
+    )
+    parser.add_argument(
+        "--spec",
+        default=None,
+        help="merge only this sweep's manifests (needed when several sweeps "
+        "share the manifest directory)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write the fused results (payloads included) as JSON",
+    )
+    parser.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="compare the merged checksums against this committed check "
+        "document; non-zero exit on mismatch",
+    )
+    parser.add_argument(
+        "--write-check",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the check document (job count + per-job digests + "
+        "checksum) for committing as the CI expectation",
+    )
+    return parser
+
+
+def _manifest_dir(args: argparse.Namespace) -> Path:
+    """Resolve the manifest directory from ``--manifest-dir``/``--cache-dir``."""
+    if args.manifest_dir is not None:
+        return Path(args.manifest_dir)
+    return Path(args.cache_dir) / "manifests"
+
+
+def _main_merge(argv: List[str], out: TextIO) -> int:
+    """Entry point of ``merge-shards``."""
+    args = build_merge_parser().parse_args(argv)
+    cache = ResultCache(args.cache_dir)
+    manifest_dir = _manifest_dir(args)
+    try:
+        manifests = discover_shard_manifests(manifest_dir, spec_name=args.spec)
+        report = merge_shards(manifests, cache=cache)
+    except SweepError as exc:
+        print(f"merge-shards: {exc}", file=out)
+        return 1
+    print(
+        f"[merge-shards] spec={report.spec_name} shards={report.shard_count} "
+        f"jobs={report.jobs} checksum={report.checksum[:16]}… "
+        f"merged_manifest={report.merged_manifest}",
+        file=out,
+    )
+    if args.out is not None:
+        document = fused_results(report, manifests, cache)
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        print(f"wrote fused results to {args.out}", file=out)
+    if args.write_check is not None:
+        args.write_check.parent.mkdir(parents=True, exist_ok=True)
+        args.write_check.write_text(
+            json.dumps(report.check_document(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote check document to {args.write_check}", file=out)
+    if args.check is not None:
+        expected = json.loads(args.check.read_text())
+        problems = report.compare(expected)
+        if problems:
+            print(
+                f"determinism check FAILED against {args.check}:", file=out
+            )
+            for problem in problems:
+                print(f"  - {problem}", file=out)
+            return 1
+        print(
+            f"determinism check passed: {report.jobs} job(s) match {args.check}",
+            file=out,
+        )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None, stream: Optional[TextIO] = None) -> int:
     """CLI entry point; returns a process exit code."""
     out = stream if stream is not None else sys.stdout
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "merge-shards":
+        return _main_merge(argv[1:], out)
     args = build_parser().parse_args(argv)
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if cache is None and (args.resume or args.shard is not None):
+        print(
+            "error: --resume and --shard need the result cache; drop --no-cache",
+            file=out,
+        )
+        return 2
     workers = args.workers if args.workers is not None else autodetect_workers()
-    runner = _StatsRunner(workers=workers, cache=cache)
+    runner = _StatsRunner(
+        workers=workers,
+        cache=cache,
+        backend=None if args.backend == "auto" else args.backend,
+        manifest_dir=None if cache is None else _manifest_dir(args),
+        resume=args.resume,
+        shard=args.shard,
+    )
 
     started = time.perf_counter()
-    report = FIGURES[args.figure](args, runner)
+    sharded_out = None
+    try:
+        report = FIGURES[args.figure](args, runner)
+    except ShardIncompleteError as exc:
+        # Expected for a sharded run: the harness stopped at the first
+        # payload another shard owns.  The executed slice is checkpointed
+        # in the cache and manifest; merge-shards fuses the full grid.
+        if args.shard is None:
+            raise
+        report = None
+        sharded_out = str(exc)
     elapsed = time.perf_counter() - started
 
-    print(report, file=out)
+    if report is not None:
+        print(report, file=out)
+    else:
+        print(
+            f"[sweep] shard {args.shard.label} of figure {args.figure} "
+            "complete; no figure report without the other shards "
+            f"({sharded_out})",
+            file=out,
+        )
     cache_note = "disabled" if cache is None else str(cache.cache_dir)
     # workers_used can fall short of the request after a serial fallback
     # (no pool support) or when every job was served from the cache.
     print(
         f"\n[sweep] figure={args.figure} jobs={runner.total_jobs} "
         f"executed={runner.total_executed} cache_hits={runner.total_hits} "
+        f"resumed={runner.total_resumed} missing={runner.total_missing} "
         f"workers={workers} workers_used={runner.max_workers_used} "
         f"cache={cache_note} elapsed={elapsed:.1f}s",
         file=out,

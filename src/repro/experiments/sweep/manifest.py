@@ -1,0 +1,273 @@
+"""Checkpointed sweep manifests: on-disk progress records for one grid.
+
+A manifest is a JSON-lines file describing one run of one
+:class:`~repro.experiments.sweep.sweep.SweepSpec` (optionally one shard of
+it).  The first line is a header carrying the sweep's identity; every
+following line records one completed job::
+
+    {"kind": "header", "version": 1, "spec": "socs", "grid_digest": "…",
+     "shard": {"index": 2, "count": 3} | null,
+     "jobs": [{"key": "SoC1", "fingerprint": "…"}, …]}
+    {"kind": "result", "fingerprint": "…", "key": "SoC1", "digest": "…"}
+
+``grid_digest`` identifies the grid *content* — the sorted set of job
+fingerprints — so it is invariant under job order, and ``digest`` is the
+SHA-256 of the job's canonical JSON payload (the byte-identity the resume
+and merge checks compare).  Result lines are appended and flushed as jobs
+complete, which makes the file crash-tolerant by construction: killing a
+sweep can at worst truncate the final line, and :meth:`SweepManifest.load`
+ignores a trailing partial record.  Payloads themselves live in the
+:class:`~repro.experiments.sweep.cache.ResultCache`; the manifest holds
+only their digests, so resuming can verify that a cached payload is the
+exact bytes the interrupted run produced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import SweepError
+from repro.experiments.sweep.shard import ShardSpec
+from repro.experiments.sweep.sweep import Job, SweepSpec
+
+MANIFEST_VERSION = 1
+MANIFEST_SUFFIX = ".manifest.jsonl"
+
+
+def payload_digest(payload: Dict[str, object]) -> str:
+    """SHA-256 of the canonical JSON rendering of a job payload.
+
+    Uses the same ``sort_keys`` / fixed-separator rendering as the result
+    cache, so equal digests mean byte-identical cached payloads.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def grid_digest(grid: Sequence[Tuple[str, str]]) -> str:
+    """Content digest of a grid: its sorted ``(key, fingerprint)`` pairs."""
+    blob = json.dumps(sorted(grid), separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _safe_name(name: str) -> str:
+    """Render a spec name as a filesystem-safe fragment."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", name)
+
+
+class SweepManifest:
+    """Progress record of one (possibly sharded) run of one sweep grid.
+
+    Instances are either *attached* (created by :meth:`open`, with a file
+    they append to as jobs complete) or *loaded* (created by :meth:`load`
+    for inspection and merging, read-only).
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        spec_name: str,
+        grid: List[Tuple[str, str]],
+        shard: Optional[ShardSpec],
+        completed: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.path = path
+        self.spec_name = spec_name
+        #: ``(key, fingerprint)`` pairs in grid order.
+        self.grid = grid
+        self.shard = shard
+        #: fingerprint -> payload digest for every recorded completion.
+        self.completed: Dict[str, str] = dict(completed or {})
+
+    # ------------------------------------------------------------------
+    @property
+    def grid_digest(self) -> str:
+        """Content digest of this manifest's grid."""
+        return grid_digest(self.grid)
+
+    @property
+    def keys_by_fingerprint(self) -> Dict[str, str]:
+        """Mapping of fingerprint -> job key for the whole grid."""
+        return {fingerprint: key for key, fingerprint in self.grid}
+
+    def pending(self) -> List[Tuple[str, str]]:
+        """Grid entries with no completion record yet, in grid order."""
+        return [
+            (key, fingerprint)
+            for key, fingerprint in self.grid
+            if fingerprint not in self.completed
+        ]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def path_for(
+        directory: Union[str, Path], spec: SweepSpec, shard: Optional[ShardSpec] = None
+    ) -> Path:
+        """Canonical manifest location for ``spec`` (and shard) in ``directory``.
+
+        The name embeds the grid digest, so two grids that share a spec
+        name (for example quick vs. ``--full`` scales) never collide, and
+        each shard of a grid gets its own file.
+        """
+        jobs = [(job.key, job.fingerprint()) for job in spec.jobs]
+        stem = f"{_safe_name(spec.name)}-{grid_digest(jobs)[:12]}"
+        if shard is not None:
+            stem += f".shard{shard.index}of{shard.count}"
+        return Path(directory) / f"{stem}{MANIFEST_SUFFIX}"
+
+    @classmethod
+    def open(
+        cls,
+        directory: Union[str, Path],
+        spec: SweepSpec,
+        shard: Optional[ShardSpec] = None,
+        resume: bool = False,
+    ) -> "SweepManifest":
+        """Create (or, with ``resume``, reload) the manifest for ``spec``.
+
+        Without ``resume`` any existing file is truncated and a fresh
+        header written.  With ``resume``, an existing manifest for the
+        same grid is reloaded and its completion records kept; a manifest
+        whose grid digest differs (the spec changed since the interrupted
+        run) raises :class:`~repro.errors.SweepError` rather than silently
+        mixing two grids.  The reloaded file is rewritten in one pass so
+        any truncated trailing record from a crash is dropped on disk too.
+        """
+        grid = [(job.key, job.fingerprint()) for job in spec.jobs]
+        path = cls.path_for(directory, spec, shard)
+        completed: Dict[str, str] = {}
+        if resume and path.exists():
+            previous = cls.load(path)
+            if previous.grid_digest != grid_digest(grid):
+                raise SweepError(
+                    f"cannot resume sweep {spec.name!r}: manifest {path} records a "
+                    "different grid (the spec changed since the interrupted run); "
+                    "delete the manifest or rerun without --resume"
+                )
+            valid = {fingerprint for _, fingerprint in grid}
+            completed = {
+                fingerprint: digest
+                for fingerprint, digest in previous.completed.items()
+                if fingerprint in valid
+            }
+        manifest = cls(path, spec.name, grid, shard, completed)
+        manifest._rewrite()
+        return manifest
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SweepManifest":
+        """Parse a manifest file, tolerating a truncated final line."""
+        path = Path(path)
+        try:
+            lines = path.read_text().splitlines()
+        except OSError as exc:
+            raise SweepError(f"cannot read manifest {path}: {exc}") from exc
+        if not lines:
+            raise SweepError(f"manifest {path} is empty")
+        header = cls._parse_line(lines[0])
+        if not isinstance(header, dict) or header.get("kind") != "header":
+            raise SweepError(f"manifest {path} does not start with a header line")
+        if header.get("version") != MANIFEST_VERSION:
+            raise SweepError(
+                f"manifest {path} has version {header.get('version')!r}; "
+                f"this build reads version {MANIFEST_VERSION}"
+            )
+        try:
+            grid = [(entry["key"], entry["fingerprint"]) for entry in header["jobs"]]
+            spec_name = str(header["spec"])
+            raw_shard = header.get("shard")
+            shard = (
+                ShardSpec(index=int(raw_shard["index"]), count=int(raw_shard["count"]))
+                if raw_shard
+                else None
+            )
+        except (KeyError, TypeError) as exc:
+            raise SweepError(f"manifest {path} has a malformed header: {exc}") from exc
+        completed: Dict[str, str] = {}
+        for line in lines[1:]:
+            record = cls._parse_line(line)
+            if (
+                isinstance(record, dict)
+                and record.get("kind") == "result"
+                and isinstance(record.get("fingerprint"), str)
+                and isinstance(record.get("digest"), str)
+            ):
+                completed[record["fingerprint"]] = record["digest"]
+        return cls(path, spec_name, grid, shard, completed)
+
+    @staticmethod
+    def _parse_line(line: str) -> Optional[object]:
+        """JSON-decode one line; ``None`` for a blank or truncated line."""
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            return json.loads(line)
+        except ValueError:
+            return None
+
+    # ------------------------------------------------------------------
+    def mark_done(self, job: Job, payload: Dict[str, object]) -> str:
+        """Record ``job`` as complete; append-and-flush, return the digest."""
+        digest = payload_digest(payload)
+        fingerprint = job.fingerprint()
+        if self.completed.get(fingerprint) == digest:
+            return digest
+        self.completed[fingerprint] = digest
+        record = {
+            "kind": "result",
+            "fingerprint": fingerprint,
+            "key": job.key,
+            "digest": digest,
+        }
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return digest
+
+    def _header_document(self) -> Dict[str, object]:
+        return {
+            "kind": "header",
+            "version": MANIFEST_VERSION,
+            "spec": self.spec_name,
+            "grid_digest": self.grid_digest,
+            "shard": (
+                {"index": self.shard.index, "count": self.shard.count}
+                if self.shard is not None
+                else None
+            ),
+            "jobs": [
+                {"key": key, "fingerprint": fingerprint}
+                for key, fingerprint in self.grid
+            ],
+        }
+
+    def _rewrite(self) -> None:
+        """Write the whole manifest (header + known completions) afresh."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        keys = self.keys_by_fingerprint
+        lines = [json.dumps(self._header_document(), sort_keys=True)]
+        for key, fingerprint in self.grid:
+            digest = self.completed.get(fingerprint)
+            if digest is not None:
+                lines.append(
+                    json.dumps(
+                        {
+                            "kind": "result",
+                            "fingerprint": fingerprint,
+                            "key": keys[fingerprint],
+                            "digest": digest,
+                        },
+                        sort_keys=True,
+                    )
+                )
+        self.path.write_text("\n".join(lines) + "\n")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SweepManifest({self.spec_name!r}, {len(self.completed)}/"
+            f"{len(self.grid)} done, shard={self.shard})"
+        )

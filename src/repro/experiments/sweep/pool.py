@@ -1,38 +1,48 @@
-"""Parallel sweep execution with a serial fallback.
+"""The sweep runner: cache, manifest, shard, and backend orchestration.
 
 :class:`SweepRunner` executes a :class:`~repro.experiments.sweep.sweep.SweepSpec`
-either in-process (``workers=1``, the default and the fallback) or on a
-``multiprocessing`` pool.  Because every job derives its randomness from its
-own fingerprint (see :mod:`repro.experiments.sweep.sweep`), the results are
-identical regardless of worker count or completion order; the runner
-re-orders payloads into grid order before returning them.
+through a pluggable :class:`~repro.experiments.sweep.backends.ExecutionBackend`
+(serial, process pool, or thread pool — see
+:mod:`repro.experiments.sweep.backends`).  Because every job derives its
+randomness from its own fingerprint, results are bit-identical regardless
+of backend, worker count, or completion order; the runner re-orders
+payloads into grid order before returning them.
 
-Cache lookups and writes happen in the parent process only, so the cache
-never sees concurrent writers from one run.
+Around the backend the runner layers three persistence concerns, all owned
+by the calling process (workers never touch disk):
+
+* **cache** — payloads keyed by job fingerprint, written the moment each
+  job completes, so an interrupted sweep loses at most in-flight jobs;
+* **manifest** — a per-sweep checkpoint file recording the grid and a
+  digest per completed payload (:mod:`repro.experiments.sweep.manifest`);
+  with ``resume=True`` the runner skips jobs the manifest records, after
+  verifying the cached payload still matches the recorded digest;
+* **shard** — a :class:`~repro.experiments.sweep.shard.ShardSpec`
+  restricts execution to the grid slice the shard owns; payloads the
+  shard neither owns nor finds in the cache are *missing*, and reading
+  one from the result raises
+  :class:`~repro.experiments.sweep.shard.ShardIncompleteError`.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+from warnings import warn
 
 from repro.errors import SweepError
+from repro.experiments.sweep.backends import ExecutionBackend, create_backend
 from repro.experiments.sweep.cache import ResultCache
+from repro.experiments.sweep.manifest import SweepManifest, payload_digest
+from repro.experiments.sweep.shard import ShardIncompleteError, ShardSpec
 from repro.experiments.sweep.sweep import Job, SweepSpec
 
 
 def autodetect_workers() -> int:
     """Number of workers to use when none is specified: one per CPU."""
     return max(1, os.cpu_count() or 1)
-
-
-def _execute_job(job: Job) -> Tuple[str, Dict[str, object]]:
-    """Worker entry point: run one job, return ``(key, payload)``."""
-    return job.key, job.execute()
 
 
 @dataclass
@@ -44,9 +54,28 @@ class SweepResult:
     cache_hits: int = 0
     executed: int = 0
     workers_used: int = 1
+    #: Jobs skipped because a resumed manifest recorded them complete (and
+    #: the cached payload matched the recorded digest).
+    resumed: int = 0
+    #: Keys of jobs this (sharded) run neither owned nor found cached, in
+    #: grid order.  Empty for unsharded runs.
+    missing: Tuple[str, ...] = ()
+    #: The shard this result covers, or ``None`` for a full run.
+    shard: Optional[ShardSpec] = None
 
     def __getitem__(self, key: str) -> Dict[str, object]:
-        return self.payloads[key]
+        try:
+            return self.payloads[key]
+        except KeyError:
+            if key in self.missing:
+                raise ShardIncompleteError(
+                    f"sweep {self.spec_name!r}: job {key!r} belongs to another "
+                    f"shard (this run covered shard {self.shard.label}); fuse "
+                    "the shards with 'merge-shards' or run without --shard"
+                    if self.shard is not None
+                    else f"sweep {self.spec_name!r}: job {key!r} was not executed"
+                ) from None
+            raise
 
     def __len__(self) -> int:
         return len(self.payloads)
@@ -58,71 +87,140 @@ class SweepResult:
         """``(key, payload)`` pairs in grid order."""
         return self.payloads.items()
 
+    @property
+    def complete(self) -> bool:
+        """Whether every job of the grid has a payload in this result."""
+        return not self.missing
+
 
 def run_spec(spec: SweepSpec, runner: Optional["SweepRunner"] = None) -> SweepResult:
     """Run ``spec`` on ``runner``, defaulting to a serial in-process runner.
 
     This is the one idiom every experiment harness uses to dispatch its
     grid: ``runner=None`` (the harness default) means serial execution with
-    no cache, which is also safe inside sweep workers (no nested pools).
+    no cache or manifest, which is also safe inside sweep workers (no
+    nested pools).
     """
     return (runner if runner is not None else SweepRunner(workers=1)).run(spec)
 
 
 class SweepRunner:
-    """Executes sweep specs, optionally in parallel and through a cache.
+    """Executes sweep specs through a backend, a cache, and a manifest.
 
-    ``workers=None`` autodetects one worker per CPU; ``workers=1`` runs
-    serially in-process.  When a pool cannot be created (no ``fork``/
-    semaphore support, or the runner is already inside a daemonic worker),
-    the runner falls back to serial execution with a warning — results are
-    identical either way.
+    Parameters
+    ----------
+    workers:
+        Requested parallelism; ``None`` autodetects one worker per CPU,
+        ``1`` runs serially.
+    cache:
+        Optional :class:`ResultCache`; payloads are looked up before
+        execution and written as each job completes.
+    backend:
+        ``None`` (process pool when ``workers > 1``, else serial), a
+        registered backend name (``"serial"``/``"process"``/``"thread"``),
+        or an :class:`ExecutionBackend` instance.
+    manifest_dir:
+        Directory for per-sweep checkpoint manifests; ``None`` disables
+        manifests (and therefore ``resume``).
+    resume:
+        Reload an existing manifest and skip its completed jobs after
+        digest-verifying their cached payloads.  Requires ``cache`` and
+        ``manifest_dir``.
+    shard:
+        Execute only the grid slice this :class:`ShardSpec` owns.
     """
 
     def __init__(
         self,
         workers: Optional[int] = 1,
         cache: Optional[ResultCache] = None,
+        backend: Union[str, ExecutionBackend, None] = None,
+        manifest_dir: Union[str, os.PathLike, None] = None,
+        resume: bool = False,
+        shard: Optional[ShardSpec] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise SweepError(f"workers must be >= 1, got {workers}")
+        if resume and manifest_dir is None:
+            raise SweepError("resume requires a manifest_dir")
+        if resume and cache is None:
+            raise SweepError(
+                "resume requires a cache (manifests record digests, payloads "
+                "live in the result cache)"
+            )
         self.workers = workers
         self.cache = cache
+        self.backend = backend
+        self.manifest_dir = manifest_dir
+        self.resume = resume
+        self.shard = shard
 
     # ------------------------------------------------------------------
     def run(self, spec: SweepSpec) -> SweepResult:
-        """Execute every job of ``spec`` and return payloads in grid order."""
+        """Execute ``spec`` and return its payloads in grid order.
+
+        Jobs are satisfied, in priority order, by: a resumed manifest
+        record (digest-verified against the cache), a cache hit, or
+        execution on the backend.  With a shard, only owned jobs execute;
+        cache hits still fill in foreign jobs when available.
+        """
+        manifest: Optional[SweepManifest] = None
+        if self.manifest_dir is not None:
+            manifest = SweepManifest.open(
+                self.manifest_dir, spec, shard=self.shard, resume=self.resume
+            )
+
         payloads: Dict[str, Dict[str, object]] = {}
-        cache_hits = 0
+        cache_hits = resumed = 0
         pending: List[Job] = []
         for job in spec.jobs:
-            if self.cache is not None:
-                cached = self.cache.get(job.fingerprint())
-                if cached is not None:
-                    payloads[job.key] = cached
-                    cache_hits += 1
-                    continue
-            pending.append(job)
+            fingerprint = job.fingerprint()
+            cached = self.cache.get(fingerprint) if self.cache is not None else None
+            if manifest is not None and self.resume:
+                recorded = manifest.completed.get(fingerprint)
+                if recorded is not None:
+                    if cached is not None and payload_digest(cached) == recorded:
+                        payloads[job.key] = cached
+                        resumed += 1
+                        continue
+                    warn(
+                        f"sweep {spec.name}: resumed manifest records job "
+                        f"{job.key!r} complete but the cached payload is "
+                        "missing or stale; re-executing it",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    # The cached bytes failed digest verification — never
+                    # serve them through the plain cache-hit path below.
+                    cached = None
+            if cached is not None:
+                payloads[job.key] = cached
+                cache_hits += 1
+                if manifest is not None:
+                    manifest.mark_done(job, cached)
+                continue
+            if self.shard is None or self.shard.owns(fingerprint):
+                pending.append(job)
 
         workers_used = 1
         if pending:
             workers = self.workers if self.workers is not None else autodetect_workers()
             workers = max(1, min(workers, len(pending)))
-            executed: Optional[Dict[str, Dict[str, object]]] = None
-            if workers > 1:
-                executed = self._run_pool(pending, workers)
-                if executed is not None:
-                    workers_used = workers
-            if executed is None:
-                executed = dict(_execute_job(job) for job in pending)
-            for job in pending:
-                payload = executed[job.key]
+            backend = create_backend(self.backend, workers)
+
+            def on_result(job: Job, payload: Dict[str, object]) -> None:
                 payloads[job.key] = payload
                 if self.cache is not None:
                     self.cache.put(job.fingerprint(), job.key, payload)
+                if manifest is not None:
+                    manifest.mark_done(job, payload)
+
+            workers_used = backend.run(pending, workers, on_result)
 
         ordered: "OrderedDict[str, Dict[str, object]]" = OrderedDict(
-            (job.key, payloads[job.key]) for job in spec.jobs
+            (job.key, payloads[job.key])
+            for job in spec.jobs
+            if job.key in payloads
         )
         return SweepResult(
             spec_name=spec.name,
@@ -130,25 +228,7 @@ class SweepRunner:
             cache_hits=cache_hits,
             executed=len(pending),
             workers_used=workers_used,
+            resumed=resumed,
+            missing=tuple(key for key in spec.keys() if key not in payloads),
+            shard=self.shard,
         )
-
-    # ------------------------------------------------------------------
-    def _run_pool(
-        self, jobs: List[Job], workers: int
-    ) -> Optional[Dict[str, Dict[str, object]]]:
-        """Run ``jobs`` on a process pool; ``None`` if no pool is available."""
-        try:
-            pool = multiprocessing.get_context().Pool(processes=workers)
-        except Exception as exc:  # daemonic nesting, missing sem_open, ...
-            warnings.warn(
-                f"sweep: cannot create a {workers}-worker pool ({exc}); "
-                "falling back to serial execution",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-            return None
-        try:
-            with pool:
-                return dict(pool.imap_unordered(_execute_job, jobs))
-        finally:
-            pool.join()

@@ -221,7 +221,9 @@ def _bench_fig9_headline(quick: bool) -> Tuple[int, str]:
         labels=labels,
         training_iterations=iterations,
         seed=29,
-        runner=SweepRunner(workers=1),
+        # Pin the serial backend explicitly: the benchmark times the
+        # simulation itself, never pool management or pickling.
+        runner=SweepRunner(workers=1, backend="serial"),
     )
     payload = {
         soc: {name: ev.to_dict() for name, ev in evaluations.items()}

@@ -29,6 +29,7 @@ from typing import List, Optional, TextIO
 
 from repro.errors import ConfigurationError, ReproError
 from repro.experiments.common import STANDARD_POLICY_KINDS
+from repro.experiments.sweep.backends import BACKEND_NAMES
 from repro.experiments.sweep.cache import ResultCache
 from repro.experiments.sweep.pool import SweepRunner, autodetect_workers
 from repro.scenarios.registry import all_scenarios, get_scenario
@@ -90,6 +91,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--no-cache", action="store_true", help="disable the result cache"
+    )
+    run_parser.add_argument(
+        "--backend",
+        choices=("auto",) + BACKEND_NAMES,
+        default="auto",
+        help="execution backend (default: process pool when workers > 1)",
+    )
+    run_parser.add_argument(
+        "--manifest-dir",
+        default=None,
+        metavar="DIR",
+        help="sweep manifest location (default: <cache-dir>/manifests)",
+    )
+    run_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip jobs an existing manifest records complete "
+        "(digest-verified against the cache)",
     )
     run_parser.add_argument(
         "--seed", type=int, default=None, help="override the scenario's default seed"
@@ -227,8 +246,21 @@ def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
         else:
             policy_kinds = [kind for kind in args.policies.split(",") if kind]
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if cache is None and args.resume:
+        print("error: --resume needs the result cache; drop --no-cache", file=out)
+        return 2
     workers = args.workers if args.workers is not None else autodetect_workers()
-    runner = SweepRunner(workers=workers, cache=cache)
+    if args.manifest_dir is not None:
+        manifest_dir = Path(args.manifest_dir)
+    else:
+        manifest_dir = None if cache is None else Path(args.cache_dir) / "manifests"
+    runner = SweepRunner(
+        workers=workers,
+        cache=cache,
+        backend=None if args.backend == "auto" else args.backend,
+        manifest_dir=manifest_dir,
+        resume=args.resume,
+    )
 
     started = time.perf_counter()
     result = run_scenario(
@@ -245,6 +277,7 @@ def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
     print(
         f"\n[scenario] name={scenario.name} jobs={len(result.evaluations)} "
         f"executed={result.executed} cache_hits={result.cache_hits} "
+        f"resumed={result.resumed} "
         f"workers={workers} workers_used={result.workers_used} "
         f"cache={cache_note} elapsed={elapsed:.1f}s",
         file=out,

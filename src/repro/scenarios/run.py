@@ -135,6 +135,8 @@ class ScenarioRunResult:
     #: Jobs served from the result cache vs. actually executed.
     cache_hits: int = 0
     executed: int = 0
+    #: Jobs skipped via a resumed sweep manifest (digest-verified).
+    resumed: int = 0
     workers_used: int = 1
     #: Policy the normalized columns are relative to.
     reference_policy: str = REFERENCE_POLICY
@@ -269,6 +271,7 @@ def run_scenario(
         evaluations=evaluations,
         cache_hits=outcome.cache_hits,
         executed=outcome.executed,
+        resumed=outcome.resumed,
         workers_used=outcome.workers_used,
         reference_policy=reference,
     )

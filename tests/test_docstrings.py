@@ -27,6 +27,12 @@ SCOPED_FILES: List[Path] = sorted(
     + list((SRC / "sim").rglob("*.py"))
     + list((SRC / "soc").rglob("*.py"))
     + list((SRC / "perf").rglob("*.py"))
+    + list((SRC / "experiments" / "sweep" / "backends").rglob("*.py"))
+    + [
+        SRC / "experiments" / "sweep" / "manifest.py",
+        SRC / "experiments" / "sweep" / "shard.py",
+        SRC / "experiments" / "sweep" / "merge.py",
+    ]
 )
 
 
@@ -85,3 +91,7 @@ def test_scope_covers_expected_modules():
     assert any(name.startswith("sim/") for name in names)
     assert any(name.startswith("soc/") for name in names)
     assert any(name.startswith("perf/") for name in names)
+    assert any(name.startswith("experiments/sweep/backends/") for name in names)
+    assert "experiments/sweep/manifest.py" in names
+    assert "experiments/sweep/shard.py" in names
+    assert "experiments/sweep/merge.py" in names
