@@ -19,7 +19,11 @@ The library is organised as follows:
 * :mod:`repro.scenarios` — the declarative scenario registry: named,
   parameterizable workloads (case studies, example ports, the Figure 9
   grid, and new frontier workloads) runnable through the sweep runner via
-  ``python -m repro.scenarios``.
+  ``python -m repro.scenarios``;
+* :mod:`repro.models` — trained-policy persistence: digest-gated
+  artifacts wrapping a trained Q-table with full provenance, a model
+  registry, and the ``--pretrained`` warm-start path
+  (``python -m repro.models``).
 
 The docs site under ``docs/`` (``mkdocs build``) covers every layer; see
 ``docs/architecture.md`` for the layer map.

@@ -23,6 +23,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.accelerators.invocation import InvocationRequest, InvocationResult
 from repro.core.agent import AgentConfig, QLearningAgent
+from repro.core.qtable import QTable
 from repro.core.reward import DEFAULT_REWARD_WEIGHTS, RewardTracker, RewardWeights
 from repro.core.state import CoherenceState, discretize_snapshot
 from repro.errors import PolicyError
@@ -272,6 +273,70 @@ class CohmeleonPolicy(CoherencePolicy):
         if record is not None:
             record.reward = components.total
         self.agent.update(state, mode, components.total)
+
+    # ------------------------------------------------------------------
+    # Persistence (see repro.models for the artifact format)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_artifact(cls, artifact: object) -> "CohmeleonPolicy":
+        """Rebuild a *frozen* policy from a trained-policy artifact.
+
+        ``artifact`` is a :class:`repro.models.PolicyArtifact` (accepted
+        duck-typed so :mod:`repro.core` never imports :mod:`repro.models`):
+        the Q-table, the agent hyper-parameters, the reward weights, and
+        the agent's RNG stream — restored to the exact state it had when
+        the policy was frozen after training — are all recovered, so a
+        frozen evaluation of the reloaded policy is bit-identical to one
+        that trained in-process.  The returned policy is frozen; call
+        :meth:`unfreeze` to fine-tune it online instead.
+        """
+        state = artifact.policy_state  # type: ignore[attr-defined]
+        if state.get("kind") != "cohmeleon":
+            raise PolicyError(
+                f"artifact holds a {state.get('kind')!r} policy, expected 'cohmeleon'"
+            )
+        config = AgentConfig(**{
+            key: float(value) for key, value in dict(state["agent_config"]).items()
+        })
+        weights = RewardWeights(**{
+            key: float(value) for key, value in dict(state["reward_weights"]).items()
+        })
+        rng_doc = dict(state["rng"])
+        rng = SeededRNG(int(rng_doc["seed"]))
+        if rng_doc.get("state") is not None:
+            try:
+                rng.restore_state(rng_doc["state"])
+            except ValueError as exc:
+                raise PolicyError(f"artifact RNG state is corrupt: {exc}") from exc
+        policy = cls(weights=weights, agent_config=config, rng=rng)
+        policy.agent.qtable = QTable.from_dict(dict(state["qtable"]))
+        policy.freeze()
+        return policy
+
+    def policy_state(self) -> Dict[str, object]:
+        """Serialise the learned state (the artifact's ``policy`` block).
+
+        The inverse of :meth:`from_artifact`: captures the Q-table, the
+        hyper-parameters, the reward weights, and the agent RNG stream's
+        current position.  Everything is JSON-able.
+        """
+        return {
+            "kind": "cohmeleon",
+            "agent_config": {
+                "initial_epsilon": self.agent.config.initial_epsilon,
+                "initial_alpha": self.agent.config.initial_alpha,
+            },
+            "reward_weights": {
+                "exec_weight": self.reward_tracker.weights.exec_weight,
+                "comm_weight": self.reward_tracker.weights.comm_weight,
+                "mem_weight": self.reward_tracker.weights.mem_weight,
+            },
+            "qtable": self.agent.qtable.to_dict(),
+            "rng": {
+                "seed": self.agent.rng.seed,
+                "state": self.agent.rng.export_state(),
+            },
+        }
 
     # ------------------------------------------------------------------
     # Training-schedule helpers used by the experiment harnesses

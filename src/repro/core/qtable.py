@@ -88,9 +88,13 @@ class QTable:
         # plain-float comparisons — this runs once per simulated decision.
         values = [float(row[mode_index(mode)]) for mode in candidates]
         best_value = max(values)
-        threshold = best_value - 1e-12
+        # Exact equality only: an absolute threshold is scale-dependent —
+        # it merges genuinely distinct values once they sit below it, and
+        # `best - 1e-12` rounds back to `best` once Q-values grow large —
+        # and every value admitted here consumes a tie-break RNG draw,
+        # which must not depend on the magnitude the table has reached.
         best_candidates = [
-            mode for mode, value in zip(candidates, values) if value >= threshold
+            mode for mode, value in zip(candidates, values) if value == best_value
         ]
         if rng is not None and len(best_candidates) > 1:
             return rng.choice(best_candidates)
@@ -126,12 +130,57 @@ class QTable:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "QTable":
-        """Restore a table serialised with :meth:`to_dict`."""
-        table = cls(num_states=int(payload["num_states"]))
-        values = np.asarray(payload["values"], dtype=float)
-        updates = np.asarray(payload["updates"], dtype=np.int64)
+        """Restore a table serialised with :meth:`to_dict`.
+
+        Both matrices are validated — shape, dtype, and value domain — so a
+        corrupt or hand-edited payload fails loudly here instead of
+        corrupting :meth:`visited_states`/:meth:`coverage` or blowing up
+        deep inside a simulation:
+
+        * ``values`` must be a ``(num_states, num_actions)`` matrix of
+          finite numbers (NaN/inf Q-values would poison every later
+          comparison in :meth:`best_mode`);
+        * ``updates`` must be a same-shaped matrix of non-negative
+          integers (update *counts*; a float or negative payload is
+          corrupt, not coercible).
+        """
+        for key in ("num_states", "values", "updates"):
+            if key not in payload:
+                raise PolicyError(f"serialised Q-table is missing the {key!r} field")
+        try:
+            num_states = int(payload["num_states"])  # type: ignore[arg-type]
+        except (TypeError, ValueError) as exc:
+            raise PolicyError(f"serialised Q-table num_states is invalid: {exc}") from exc
+        table = cls(num_states=num_states)
+        try:
+            values = np.asarray(payload["values"], dtype=float)
+        except (TypeError, ValueError) as exc:
+            raise PolicyError(f"serialised Q-table values are not numeric: {exc}") from exc
         if values.shape != table._values.shape:
-            raise PolicyError("serialised Q-table has the wrong shape")
+            raise PolicyError(
+                f"serialised Q-table values have shape {values.shape}, "
+                f"expected {table._values.shape}"
+            )
+        if not np.isfinite(values).all():
+            raise PolicyError("serialised Q-table contains non-finite values")
+        try:
+            updates_raw = np.asarray(payload["updates"])
+        except (TypeError, ValueError) as exc:  # pragma: no cover - asarray is lax
+            raise PolicyError(f"serialised Q-table update counts are invalid: {exc}") from exc
+        if updates_raw.shape != table._updates.shape:
+            raise PolicyError(
+                f"serialised Q-table update counts have shape {updates_raw.shape}, "
+                f"expected {table._updates.shape}"
+            )
+        if not np.issubdtype(updates_raw.dtype, np.number):
+            raise PolicyError("serialised Q-table update counts are not numeric")
+        if not np.isfinite(np.asarray(updates_raw, dtype=float)).all():
+            raise PolicyError("serialised Q-table update counts are non-finite")
+        updates = np.asarray(updates_raw, dtype=np.int64)
+        if (np.asarray(updates_raw, dtype=float) != updates).any():
+            raise PolicyError("serialised Q-table update counts are not integers")
+        if (updates < 0).any():
+            raise PolicyError("serialised Q-table update counts are negative")
         table._values = values
         table._updates = updates
         return table

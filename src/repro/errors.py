@@ -38,3 +38,11 @@ class ExperimentError(ReproError):
 
 class SweepError(ReproError):
     """A sweep specification, job, or result cache is invalid."""
+
+
+class ModelError(ReproError):
+    """A trained-policy artifact or model registry is invalid.
+
+    Raised by :mod:`repro.models` for corrupt, truncated, tampered, or
+    version-incompatible artifacts and for bad registry operations.
+    """

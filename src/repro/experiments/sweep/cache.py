@@ -16,11 +16,11 @@ invocations.
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 from repro.errors import SweepError
+from repro.utils.fileio import atomic_write_text
 
 
 def _dump_canonical(document: Dict[str, object]) -> str:
@@ -65,30 +65,56 @@ class ResultCache:
             raise SweepError(
                 f"job {key}: payload is not JSON-serializable: {exc}"
             ) from exc
-        path = self.path_for(fingerprint)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(text)
-        os.replace(tmp, path)
+        # A failed write cleans its own temp file; orphans from *killed*
+        # processes are swept by clear().
+        atomic_write_text(self.path_for(fingerprint), text)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _is_entry(path: Path) -> bool:
+        """Whether ``path`` is a committed entry (not an in-flight temp file).
+
+        A worker killed mid-:meth:`put` leaves a ``….tmp.<pid>`` file
+        behind; such orphans are never entries and every read path skips
+        them defensively.
+        """
+        return path.suffix == ".json" and ".tmp" not in path.name
+
     def __contains__(self, fingerprint: str) -> bool:
         return self.path_for(fingerprint).is_file()
 
     def fingerprints(self) -> Iterator[str]:
         """Iterate over the fingerprints currently stored."""
         for path in sorted(self.cache_dir.glob("*/*.json")):
-            yield path.stem
+            if self._is_entry(path):
+                yield path.stem
 
     def __len__(self) -> int:
         return sum(1 for _ in self.fingerprints())
 
+    def stale_tmp_files(self) -> List[Path]:
+        """In-flight temp files orphaned by killed writers, oldest path first."""
+        return sorted(
+            path
+            for path in self.cache_dir.glob("*/*.tmp.*")
+            if not self._is_entry(path)
+        )
+
     def clear(self) -> int:
-        """Delete every entry; return how many were removed."""
+        """Delete every entry (and sweep orphaned temp files).
+
+        Returns how many *entries* were removed; swept temp files — left
+        behind when a writer was killed between ``write_text`` and
+        ``os.replace`` — do not count, since they never became entries.
+        """
         removed = 0
         for path in list(self.cache_dir.glob("*/*.json")):
-            path.unlink()
+            if not self._is_entry(path):
+                continue
+            path.unlink(missing_ok=True)
             removed += 1
+        for path in self.stale_tmp_files():
+            path.unlink(missing_ok=True)
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -152,15 +152,30 @@ class Job:
     def fingerprint(self) -> str:
         """Stable identity of this job: function, parameters, and seed.
 
+        Parameters whose names start with an underscore are *transport-only*:
+        they are delivered to the job function but excluded from the
+        fingerprint.  They exist for delivery details that do not define
+        the computation — e.g. the filesystem path a digest-pinned
+        artifact is re-loaded from — so relocating such a file never
+        invalidates the cache.  A transport-only parameter must never
+        change the result; anything content-bearing belongs in a normal
+        (fingerprinted) parameter, like the artifact digest that
+        accompanies such a path.
+
         Memoized: canonicalizing a large parameter graph is not free, and
         the fingerprint is needed for the cache lookup, the cache write,
         and the RNG derivation.
         """
         cached = self.__dict__.get("_fingerprint")
         if cached is None:
+            identity = {
+                key: value
+                for key, value in dict(self.params).items()
+                if not key.startswith("_")
+            }
             document = {
                 "fn": f"{self.fn.__module__}.{self.fn.__qualname__}",
-                "params": canonicalize(dict(self.params)),
+                "params": canonicalize(identity),
                 "seed": self.seed,
             }
             text = json.dumps(document, sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.models``."""
+
+import sys
+
+from repro.models.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,305 @@
+"""The versioned on-disk trained-policy artifact format.
+
+An artifact is one canonical-JSON document wrapping everything needed to
+re-instantiate a trained Cohmeleon policy and to audit where it came from:
+
+.. code-block:: json
+
+    {
+      "format": "cohmeleon-policy-artifact",
+      "version": 1,
+      "name": "soc1-baseline",
+      "digest": "<sha256 of the canonical payload>",
+      "payload": {
+        "policy":     {"kind": "cohmeleon", "agent_config": {...},
+                       "reward_weights": {...}, "qtable": {...}, "rng": {...}},
+        "provenance": {"scenario": "...", "scenario_definition": "...",
+                       "seed": 0, "training_iterations": 3,
+                       "repro_version": "..."},
+        "stats":      {"coverage": 0.21, "updates": 1234, ...}
+      }
+    }
+
+Three properties make the format safe to cache, ship, and fingerprint:
+
+* **canonical** — the payload serialises with sorted keys and fixed
+  separators, so the same trained policy always produces the same bytes
+  and the same digest, on every platform;
+* **digest-gated** — ``digest`` is the SHA-256 of the canonical payload;
+  :func:`load_artifact` recomputes and compares it, so corruption,
+  truncation, and tampering are all caught before a single Q-value is
+  trusted (and sweep-job fingerprints embed the digest, so the result
+  cache can never conflate two different tables);
+* **versioned** — ``format``/``version`` reject documents written by an
+  incompatible future layout instead of misreading them.
+
+Every validation failure raises :class:`~repro.errors.ModelError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro import __version__
+from repro.core.policies import CohmeleonPolicy
+from repro.errors import ModelError
+from repro.utils.fileio import atomic_write_text
+
+#: The ``format`` marker every artifact document carries.
+ARTIFACT_FORMAT = "cohmeleon-policy-artifact"
+
+#: The current (and only) artifact layout version.
+ARTIFACT_VERSION = 1
+
+#: Provenance fields every artifact records (see :func:`build_provenance`).
+PROVENANCE_FIELDS = (
+    "scenario",
+    "scenario_definition",
+    "scenario_source",
+    "seed",
+    "training_iterations",
+    "policy_kind",
+    "repro_version",
+)
+
+
+def _canonical_text(document: Dict[str, object]) -> str:
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def payload_digest(payload: Dict[str, object]) -> str:
+    """SHA-256 digest of the canonical rendering of an artifact payload."""
+    try:
+        text = _canonical_text(payload)
+    except (TypeError, ValueError) as exc:
+        raise ModelError(f"artifact payload is not JSON-serialisable: {exc}") from exc
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def build_provenance(
+    scenario: str,
+    scenario_definition: str,
+    seed: int,
+    training_iterations: int,
+    scenario_source: Optional[str] = None,
+    policy_kind: str = "cohmeleon",
+) -> Dict[str, object]:
+    """Assemble the provenance block of an artifact payload.
+
+    Provenance is deliberately deterministic — no wall-clock timestamps or
+    hostnames — so training the same scenario at the same seed always
+    yields a byte-identical artifact (and therefore the same digest).
+    """
+    return {
+        "scenario": scenario,
+        "scenario_definition": scenario_definition,
+        "scenario_source": scenario_source,
+        "seed": int(seed),
+        "training_iterations": int(training_iterations),
+        "policy_kind": policy_kind,
+        "repro_version": __version__,
+    }
+
+
+@dataclass
+class PolicyArtifact:
+    """One trained-policy artifact: name, payload, digest, and origin."""
+
+    #: Registry name (also the on-disk file stem).
+    name: str
+    #: The digest-covered document: ``policy`` + ``provenance`` + ``stats``.
+    payload: Dict[str, object]
+    #: SHA-256 of the canonical payload (computed when omitted).
+    digest: str = ""
+    #: Path the artifact was loaded from / last saved to, if any.
+    source: Optional[str] = None
+    #: Layout version of the document this artifact was read from.
+    version: int = ARTIFACT_VERSION
+    #: Non-digest-covered metadata (reserved for forward compatibility).
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("artifact name must be non-empty")
+        if not self.digest:
+            self.digest = payload_digest(self.payload)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_policy(
+        cls,
+        policy: CohmeleonPolicy,
+        name: str,
+        provenance: Dict[str, object],
+    ) -> "PolicyArtifact":
+        """Capture ``policy``'s learned state into a new artifact."""
+        agent = policy.agent
+        stats = {
+            "coverage": agent.qtable.coverage(),
+            "visited_states": len(agent.qtable.visited_states()),
+            "updates": agent.updates,
+            "decisions": agent.decisions,
+            "random_decisions": agent.random_decisions,
+        }
+        payload = {
+            "policy": policy.policy_state(),
+            "provenance": dict(provenance),
+            "stats": stats,
+        }
+        return cls(name=name, payload=payload)
+
+    # ------------------------------------------------------------------
+    # Structured access
+    # ------------------------------------------------------------------
+    @property
+    def policy_state(self) -> Dict[str, object]:
+        """The ``policy`` block (what :meth:`build_policy` consumes)."""
+        return self._block("policy")
+
+    @property
+    def provenance(self) -> Dict[str, object]:
+        """The ``provenance`` block (scenario, seed, schedule, version)."""
+        return self._block("provenance")
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        """The ``stats`` block (coverage and training counters)."""
+        return self._block("stats")
+
+    def _block(self, key: str) -> Dict[str, object]:
+        block = self.payload.get(key)
+        if not isinstance(block, dict):
+            raise ModelError(f"artifact {self.name!r} is missing its {key!r} block")
+        return block
+
+    @property
+    def scenario(self) -> str:
+        """Name of the scenario the policy was trained on."""
+        return str(self.provenance.get("scenario", ""))
+
+    def build_policy(self) -> CohmeleonPolicy:
+        """Re-instantiate the trained policy, frozen, ready to evaluate."""
+        from repro.errors import PolicyError
+
+        try:
+            return CohmeleonPolicy.from_artifact(self)
+        except (KeyError, TypeError, ValueError, PolicyError) as exc:
+            raise ModelError(
+                f"artifact {self.name!r} does not hold a valid policy: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_document(self) -> Dict[str, object]:
+        """The full artifact document (envelope + payload)."""
+        return {
+            "format": ARTIFACT_FORMAT,
+            "version": self.version,
+            "name": self.name,
+            "digest": self.digest,
+            "payload": self.payload,
+        }
+
+    def dumps(self) -> str:
+        """Canonical JSON text of the full document."""
+        return _canonical_text(self.to_document())
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the artifact to ``path`` atomically; return the path."""
+        target = atomic_write_text(path, self.dumps() + "\n")
+        self.source = str(target)
+        return target
+
+    def summary_row(self) -> list:
+        """The artifact's row for the ``list`` table."""
+        provenance = self.provenance
+        stats = self.stats
+        return [
+            self.name,
+            provenance.get("scenario", "?"),
+            provenance.get("seed", "?"),
+            provenance.get("training_iterations", "?"),
+            f"{float(stats.get('coverage', 0.0)):.3f}",
+            self.digest[:12],
+        ]
+
+
+def parse_artifact(
+    document: object,
+    expected_digest: Optional[str] = None,
+    source: Optional[str] = None,
+) -> PolicyArtifact:
+    """Validate a decoded artifact document and return the artifact.
+
+    Checks, in order: the envelope shape, the format marker, the layout
+    version, and finally the digest gate — the recorded digest must match
+    both the recomputed payload digest and (when given) the caller's
+    ``expected_digest``.
+    """
+    label = source if source is not None else "artifact"
+    if not isinstance(document, dict):
+        raise ModelError(f"{label}: artifact document must be a JSON object")
+    for key in ("format", "version", "name", "digest", "payload"):
+        if key not in document:
+            raise ModelError(f"{label}: artifact is missing the {key!r} field")
+    if document["format"] != ARTIFACT_FORMAT:
+        raise ModelError(
+            f"{label}: not a trained-policy artifact "
+            f"(format {document['format']!r}, expected {ARTIFACT_FORMAT!r})"
+        )
+    try:
+        version = int(document["version"])  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise ModelError(f"{label}: artifact version is invalid: {exc}") from exc
+    if version != ARTIFACT_VERSION:
+        raise ModelError(
+            f"{label}: artifact layout version {version} is not supported "
+            f"(this build reads version {ARTIFACT_VERSION})"
+        )
+    payload = document["payload"]
+    if not isinstance(payload, dict):
+        raise ModelError(f"{label}: artifact payload must be a JSON object")
+    recorded = str(document["digest"])
+    actual = payload_digest(payload)
+    if recorded != actual:
+        raise ModelError(
+            f"{label}: artifact digest mismatch — recorded {recorded[:12]}…, "
+            f"payload hashes to {actual[:12]}… (corrupt or tampered artifact)"
+        )
+    if expected_digest is not None and recorded != expected_digest:
+        raise ModelError(
+            f"{label}: artifact digest {recorded[:12]}… does not match the "
+            f"expected {expected_digest[:12]}… (wrong or regenerated artifact)"
+        )
+    return PolicyArtifact(
+        name=str(document["name"]),
+        payload=payload,
+        digest=recorded,
+        source=source,
+        version=version,
+    )
+
+
+def load_artifact(
+    path: Union[str, Path], expected_digest: Optional[str] = None
+) -> PolicyArtifact:
+    """Read, parse, and digest-verify the artifact stored at ``path``."""
+    location = Path(path)
+    try:
+        text = location.read_text()
+    except OSError as exc:
+        raise ModelError(f"cannot read artifact {location}: {exc}") from exc
+    try:
+        document = json.loads(text)
+    except ValueError as exc:
+        raise ModelError(
+            f"{location}: artifact is not valid JSON (corrupt or truncated): {exc}"
+        ) from exc
+    return parse_artifact(document, expected_digest=expected_digest, source=str(location))

@@ -42,6 +42,7 @@ from repro.scenarios.registry import (
 from repro.scenarios.run import (
     ScenarioRunResult,
     evaluate_scenario_policy,
+    resolve_scenario,
     run_scenario,
 )
 from repro.scenarios.scenario import (
@@ -65,6 +66,7 @@ __all__ = [
     "load_scenario_mapping",
     "register",
     "register_scenario",
+    "resolve_scenario",
     "run_scenario",
     "scenario_names",
     "unregister",

@@ -10,6 +10,7 @@ Examples
     python -m repro.scenarios run quickstart --workers 4
     python -m repro.scenarios run soc5-autonomous --policies all
     python -m repro.scenarios run my-scenario.toml --no-cache
+    python -m repro.scenarios run quickstart --pretrained qs-demo
     python -m repro.scenarios gallery --check
 
 ``run`` accepts a registered scenario name or a path to a ``.toml`` /
@@ -125,6 +126,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="KINDS",
         help="comma-separated policy kinds, or 'all' for the full standard set",
+    )
+    run_parser.add_argument(
+        "--pretrained",
+        default=None,
+        metavar="MODEL",
+        help="evaluate this trained-policy artifact (a registry name or an "
+        "artifact-file path) frozen for the cohmeleon policy instead of "
+        "retraining (see python -m repro.models)",
+    )
+    run_parser.add_argument(
+        "--models-dir",
+        default=None,
+        metavar="DIR",
+        help="model registry directory used by --pretrained "
+        "(default: $REPRO_MODELS_DIR or .repro-models)",
     )
 
     gallery_parser = commands.add_parser(
@@ -249,6 +265,11 @@ def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
     if cache is None and args.resume:
         print("error: --resume needs the result cache; drop --no-cache", file=out)
         return 2
+    pretrained = None
+    if args.pretrained is not None:
+        from repro.models.registry import resolve_pretrained
+
+        pretrained = resolve_pretrained(args.pretrained, models_dir=args.models_dir)
     workers = args.workers if args.workers is not None else autodetect_workers()
     if args.manifest_dir is not None:
         manifest_dir = Path(args.manifest_dir)
@@ -269,17 +290,21 @@ def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
         seed=args.seed,
         training_iterations=args.training_iterations,
         runner=runner,
+        pretrained=pretrained,
     )
     elapsed = time.perf_counter() - started
 
     print(result.report(), file=out)
     cache_note = "disabled" if cache is None else str(cache.cache_dir)
+    pretrained_note = (
+        "" if pretrained is None else f" pretrained={pretrained.digest[:12]}"
+    )
     print(
         f"\n[scenario] name={scenario.name} jobs={len(result.evaluations)} "
         f"executed={result.executed} cache_hits={result.cache_hits} "
         f"resumed={result.resumed} "
         f"workers={workers} workers_used={result.workers_used} "
-        f"cache={cache_note} elapsed={elapsed:.1f}s",
+        f"cache={cache_note}{pretrained_note} elapsed={elapsed:.1f}s",
         file=out,
     )
     return 0

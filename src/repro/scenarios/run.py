@@ -31,12 +31,14 @@ from repro.utils.stats import geometric_mean
 from repro.utils.tables import format_table
 
 
-def _resolve_scenario(name: str, source: Optional[str]) -> Scenario:
+def resolve_scenario(name: str, source: Optional[str] = None) -> Scenario:
     """Find the scenario a sweep job refers to.
 
     File-based scenarios are re-loaded from their source path so worker
     processes never depend on the parent's registry state; registered
-    scenarios are looked up by name after discovery.
+    scenarios are looked up by name after discovery.  Also used by the
+    :mod:`repro.models` training jobs, which resolve scenarios the same
+    way inside worker processes.
     """
     if source is not None:
         from repro.scenarios.loader import load_scenario_file
@@ -82,6 +84,7 @@ def evaluate_scenario_policy(
     policy_kind: str,
     seed: Optional[int] = None,
     training_iterations: Optional[int] = None,
+    pretrained: Optional[object] = None,
 ) -> PolicyEvaluation:
     """Evaluate one policy kind on ``scenario`` in the current process.
 
@@ -89,6 +92,12 @@ def evaluate_scenario_policy(
     learning policies for ``training_iterations`` runs, and evaluates on
     the testing instance.  The profiled ``fixed-hetero`` baseline runs its
     isolation profiling pass first, exactly as the figure harnesses do.
+
+    With ``pretrained`` (a :class:`repro.models.PolicyArtifact`) and
+    ``policy_kind='cohmeleon'``, online training is skipped entirely: the
+    artifact's frozen policy — Q-table, hyper-parameters, and the exact
+    RNG position it froze with — is evaluated as-is on the testing
+    instance (the warm-start contract; see ``docs/models.md``).
     """
     seed = scenario.default_seed if seed is None else seed
     iterations = (
@@ -96,6 +105,20 @@ def evaluate_scenario_policy(
     )
     setup = scenario.build_setup(seed=seed)
     training_app, test_app = scenario.applications(setup, seed=seed)
+    if pretrained is not None:
+        if policy_kind != "cohmeleon":
+            raise ConfigurationError(
+                f"pretrained artifacts apply to the 'cohmeleon' policy, not {policy_kind!r}"
+            )
+        policy = pretrained.build_policy()  # type: ignore[attr-defined]
+        return evaluate_one_policy(
+            setup=setup,
+            policy=policy,
+            test_app=test_app,
+            training_app=None,
+            training_iterations=0,
+            policy_name=policy_kind,
+        )
     hetero = None
     if policy_kind == "fixed-hetero":
         from repro.experiments.isolation import fixed_hetero_modes
@@ -113,13 +136,29 @@ def evaluate_scenario_policy(
 
 
 def _scenario_policy_job(params: Dict[str, object], rng) -> Dict[str, object]:
-    """Sweep job: one (scenario, policy) evaluation (see :func:`run_scenario`)."""
-    scenario = _resolve_scenario(str(params["scenario"]), params.get("source"))  # type: ignore[arg-type]
+    """Sweep job: one (scenario, policy) evaluation (see :func:`run_scenario`).
+
+    When the job carries ``pretrained``/``pretrained_digest`` parameters,
+    the artifact is re-loaded from its path inside the worker and
+    digest-verified against the fingerprinted digest before use — the
+    digest gate holds even when the file changed between scheduling and
+    execution.
+    """
+    scenario = resolve_scenario(str(params["scenario"]), params.get("source"))  # type: ignore[arg-type]
+    pretrained = None
+    if params.get("_pretrained_path") is not None:
+        from repro.models.artifact import load_artifact
+
+        pretrained = load_artifact(
+            str(params["_pretrained_path"]),
+            expected_digest=str(params["pretrained_digest"]),
+        )
     evaluation = evaluate_scenario_policy(
         scenario,
         policy_kind=str(params["policy_kind"]),
         seed=int(params["seed"]),  # type: ignore[arg-type]
         training_iterations=int(params["training_iterations"]),  # type: ignore[arg-type]
+        pretrained=pretrained,
     )
     return evaluation.to_dict()
 
@@ -140,6 +179,8 @@ class ScenarioRunResult:
     workers_used: int = 1
     #: Policy the normalized columns are relative to.
     reference_policy: str = REFERENCE_POLICY
+    #: Digest of the pretrained artifact the cohmeleon job evaluated, if any.
+    pretrained_digest: Optional[str] = None
 
     def normalized(self) -> Dict[str, Dict[str, float]]:
         """Per policy, geomean execution time and off-chip accesses normalized
@@ -177,6 +218,11 @@ class ScenarioRunResult:
                     f"{entry['mem']:.3f}",
                 ]
             )
+        pretrained_note = (
+            f", pretrained {self.pretrained_digest[:12]}"
+            if self.pretrained_digest
+            else ""
+        )
         return format_table(
             [
                 "policy",
@@ -187,7 +233,7 @@ class ScenarioRunResult:
             ],
             rows,
             title=f"Scenario {self.scenario_name} (seed {self.seed}, "
-            f"normalized to {self.reference_policy})",
+            f"normalized to {self.reference_policy}{pretrained_note})",
         )
 
 
@@ -209,6 +255,7 @@ def run_scenario(
     seed: Optional[int] = None,
     training_iterations: Optional[int] = None,
     runner: Optional[SweepRunner] = None,
+    pretrained: Optional[object] = None,
 ) -> ScenarioRunResult:
     """Run ``scenario``'s policy comparison through the sweep runner.
 
@@ -226,6 +273,12 @@ def run_scenario(
     runner:
         A configured :class:`SweepRunner` (workers + cache); ``None`` runs
         serially without a cache.
+    pretrained:
+        A saved :class:`repro.models.PolicyArtifact`: the ``cohmeleon``
+        job evaluates this frozen pretrained table instead of retraining.
+        The artifact must have been saved to disk (workers re-load it from
+        its path) and its digest becomes part of the job fingerprint, so
+        the result cache distinguishes every table evaluated.
 
     Returns
     -------
@@ -236,6 +289,17 @@ def run_scenario(
     kinds = tuple(policy_kinds if policy_kinds is not None else scenario.policy_kinds)
     if not kinds:
         raise ConfigurationError(f"scenario {scenario.name}: no policies to run")
+    if pretrained is not None:
+        if "cohmeleon" not in kinds:
+            raise ConfigurationError(
+                f"scenario {scenario.name}: a pretrained artifact was given but "
+                "'cohmeleon' is not among the policies to run"
+            )
+        if getattr(pretrained, "source", None) is None:
+            raise ConfigurationError(
+                "the pretrained artifact has no on-disk source; save it to a "
+                "registry first so sweep workers can re-load it"
+            )
     run_seed = scenario.default_seed if seed is None else seed
     iterations = (
         scenario.training_iterations if training_iterations is None else training_iterations
@@ -243,22 +307,32 @@ def run_scenario(
     # The digest ties the fingerprint to the materialized content, so a
     # cached payload can never outlive an edit to the scenario definition.
     definition = scenario_definition_digest(scenario, seed=run_seed)
-    jobs = [
-        Job(
-            key=kind,
-            fn=_scenario_policy_job,
-            params={
-                "scenario": scenario.name,
-                "source": scenario.source,
-                "definition": definition,
-                "policy_kind": kind,
-                "seed": run_seed,
-                "training_iterations": iterations,
-            },
-            seed=run_seed,
-        )
-        for kind in kinds
-    ]
+    jobs = []
+    for kind in kinds:
+        params: Dict[str, object] = {
+            "scenario": scenario.name,
+            "source": scenario.source,
+            "definition": definition,
+            "policy_kind": kind,
+            "seed": run_seed,
+            "training_iterations": iterations,
+        }
+        if pretrained is not None and kind == "cohmeleon":
+            # The artifact digest joins the fingerprint (cache correctness:
+            # two different tables can never share a payload) and training
+            # is pinned to zero so the same frozen evaluation fingerprints
+            # identically regardless of the surrounding training budget.
+            # The load path is transport-only (underscore prefix): the
+            # digest alone is the artifact's identity, so renaming or
+            # relocating the registry never misses the cache.
+            params.update(
+                {
+                    "training_iterations": 0,
+                    "pretrained_digest": pretrained.digest,  # type: ignore[attr-defined]
+                    "_pretrained_path": str(pretrained.source),  # type: ignore[attr-defined]
+                }
+            )
+        jobs.append(Job(key=kind, fn=_scenario_policy_job, params=params, seed=run_seed))
     spec = SweepSpec(name=f"scenario-{scenario.name}", jobs=jobs)
     outcome = run_spec(spec, runner)
     evaluations = {
@@ -274,4 +348,5 @@ def run_scenario(
         resumed=outcome.resumed,
         workers_used=outcome.workers_used,
         reference_policy=reference,
+        pretrained_digest=None if pretrained is None else pretrained.digest,  # type: ignore[attr-defined]
     )

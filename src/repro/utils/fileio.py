@@ -1,0 +1,34 @@
+"""Filesystem helpers shared across the persistence layers.
+
+Currently one primitive: the atomic text write used by both the sweep
+result cache and the trained-policy artifacts, so the write-commit
+discipline (and any future hardening of it) lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> Path:
+    """Write ``text`` to ``path`` atomically; return the target path.
+
+    The text lands in a ``<name>.tmp.<pid>`` sibling first and is
+    committed with :func:`os.replace`, so readers never observe a
+    partially written file.  A *failed* write removes its own temp file;
+    a *killed* writer can still orphan one — stores built on this helper
+    must treat ``.tmp.`` siblings as non-entries and sweep them (see
+    ``ResultCache.stale_tmp_files``).
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(f"{target.name}.tmp.{os.getpid()}")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, target)
+    except OSError:
+        tmp.unlink(missing_ok=True)
+        raise
+    return target

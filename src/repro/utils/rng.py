@@ -92,6 +92,31 @@ class SeededRNG:
         """Return the underlying generator state (for tests)."""
         return self._random.getstate()
 
+    def export_state(self) -> list:
+        """Return the generator state as a JSON-able structure.
+
+        The counterpart of :meth:`restore_state`; used by the trained-policy
+        artifacts (:mod:`repro.models`) to persist the exact point a
+        stream had reached, so a reloaded policy consumes the same draws an
+        in-process one would.
+        """
+        version, internal, gauss_next = self._random.getstate()
+        return [int(version), [int(word) for word in internal], gauss_next]
+
+    def restore_state(self, state: object) -> None:
+        """Restore a state captured by :meth:`export_state`.
+
+        Accepts the JSON round-tripped form (lists instead of tuples) and
+        raises ``ValueError`` on anything that does not look like one.
+        """
+        try:
+            version, internal, gauss_next = state  # type: ignore[misc]
+            self._random.setstate(
+                (int(version), tuple(int(word) for word in internal), gauss_next)
+            )
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"invalid serialised RNG state: {exc}") from exc
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SeededRNG(seed={self.seed})"
 

@@ -1,8 +1,9 @@
 """Docstring enforcement for the public API surface (mirrors ruff D1).
 
 CI's lint job runs ruff with the missing-docstring rules (D100-D104,
-D106) over ``repro/__init__.py``, ``repro.core``, ``repro.scenarios``,
-``repro.sim``, ``repro.soc``, and ``repro.perf``; this test applies the
+D106) over ``repro/__init__.py``, ``repro.core``, ``repro.models``,
+``repro.scenarios``, ``repro.sim``, ``repro.soc``, and ``repro.perf``;
+this test applies the
 same policy with the standard library's ``ast`` so the check also runs in
 environments without ruff — every module, public class, and public
 function/method in those trees must carry a docstring whose first line is
@@ -23,6 +24,7 @@ SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
 SCOPED_FILES: List[Path] = sorted(
     [SRC / "__init__.py"]
     + list((SRC / "core").rglob("*.py"))
+    + list((SRC / "models").rglob("*.py"))
     + list((SRC / "scenarios").rglob("*.py"))
     + list((SRC / "sim").rglob("*.py"))
     + list((SRC / "soc").rglob("*.py"))
@@ -87,6 +89,7 @@ def test_scope_covers_expected_modules():
     names = {str(p.relative_to(SRC)) for p in SCOPED_FILES}
     assert "__init__.py" in names
     assert any(name.startswith("core/") for name in names)
+    assert any(name.startswith("models/") for name in names)
     assert any(name.startswith("scenarios/") for name in names)
     assert any(name.startswith("sim/") for name in names)
     assert any(name.startswith("soc/") for name in names)

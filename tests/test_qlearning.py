@@ -100,6 +100,85 @@ class TestQTable:
             table.value(STATE0, CoherenceMode.COH_DMA)
         )
 
+    def test_from_dict_rejects_wrong_values_shape(self):
+        payload = QTable().to_dict()
+        payload["values"] = [[0.0] * 4] * 7
+        with pytest.raises(PolicyError, match="shape"):
+            QTable.from_dict(payload)
+
+    def test_from_dict_rejects_wrong_updates_shape(self):
+        """Regression: a mismatched updates matrix was silently accepted."""
+        payload = QTable().to_dict()
+        payload["updates"] = [[0] * 4] * 7
+        with pytest.raises(PolicyError, match="update counts.*shape"):
+            QTable.from_dict(payload)
+
+    def test_from_dict_rejects_non_integer_updates(self):
+        """Regression: float update counts corrupt visited_states()/coverage()."""
+        table = QTable()
+        table.update(STATE0, CoherenceMode.COH_DMA, 1.0, 0.5)
+        payload = table.to_dict()
+        payload["updates"][0][1] = 0.5
+        with pytest.raises(PolicyError, match="not integers"):
+            QTable.from_dict(payload)
+        payload["updates"][0][1] = "three"
+        with pytest.raises(PolicyError, match="not numeric"):
+            QTable.from_dict(payload)
+        payload["updates"][0][1] = -2
+        with pytest.raises(PolicyError, match="negative"):
+            QTable.from_dict(payload)
+
+    def test_from_dict_rejects_non_finite_values(self):
+        for poison in (float("nan"), float("inf"), float("-inf")):
+            payload = QTable().to_dict()
+            payload["values"][0][0] = poison
+            with pytest.raises(PolicyError, match="non-finite"):
+                QTable.from_dict(payload)
+
+    def test_from_dict_rejects_missing_and_invalid_fields(self):
+        payload = QTable().to_dict()
+        del payload["updates"]
+        with pytest.raises(PolicyError, match="updates"):
+            QTable.from_dict(payload)
+        payload = QTable().to_dict()
+        payload["num_states"] = "many"
+        with pytest.raises(PolicyError, match="num_states"):
+            QTable.from_dict(payload)
+
+    def test_from_dict_preserves_visited_states(self):
+        table = QTable()
+        table.update(STATE0, CoherenceMode.COH_DMA, 1.0, 0.5)
+        table.update(5, CoherenceMode.FULL_COH, 0.5, 0.5)
+        restored = QTable.from_dict(table.to_dict())
+        assert restored.visited_states() == table.visited_states()
+        assert restored.coverage() == table.coverage()
+        assert (restored.update_counts() == table.update_counts()).all()
+
+    def test_best_mode_exact_ties_only(self):
+        """Tie detection is exact equality, independent of Q-value scale.
+
+        The old absolute 1e-12 threshold merged near-ties at large
+        magnitudes (consuming RNG draws that should not happen) and was
+        never needed for genuine float-equal ties.  Near-equal values must
+        deterministically pick the larger; exactly equal values tie.
+        """
+        table = QTable()
+        # Near-tie below the old threshold: 5e-13 beats 0.0, but the old
+        # `best - 1e-12` cutoff called them tied, consumed an RNG draw, and
+        # could return the strictly worse mode.
+        table._values[0][0] = 5e-13
+        rng = SeededRNG(0)
+        before = rng.state()
+        assert table.best_mode(STATE0, rng=rng) is COHERENCE_MODES[0]
+        # No tie -> no RNG draw consumed (the committed determinism digests
+        # depend on the exact draw sequence).
+        assert rng.state() == before
+        # Exactly equal values still tie and draw, at any magnitude.
+        table._values[0][0] = 1e9
+        table._values[0][1] = 1e9
+        table.best_mode(STATE0, rng=rng)
+        assert rng.state() != before
+
     def test_reset(self):
         table = QTable()
         table.update(STATE0, CoherenceMode.COH_DMA, 0.7, 0.25)

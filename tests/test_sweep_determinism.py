@@ -93,6 +93,26 @@ class TestJobIdentity:
         other = Job(key="a", fn=_mul_job, params={"a": 1, "b": 3}, seed=5)
         assert job.derive_rng().random() != other.derive_rng().random()
 
+    def test_underscore_params_are_transport_only(self):
+        """Underscore-prefixed params reach the fn but not the fingerprint.
+
+        They carry delivery details (e.g. the path a digest-pinned
+        artifact is re-loaded from); relocating such a file must not
+        invalidate the cache, while content-bearing params still must.
+        """
+        plain = Job(key="a", fn=_mul_job, params={"a": 3, "b": 4}, seed=7)
+        with_transport = Job(
+            key="a", fn=_mul_job, params={"a": 3, "b": 4, "_path": "/tmp/x"}, seed=7
+        )
+        moved = Job(
+            key="a", fn=_mul_job, params={"a": 3, "b": 4, "_path": "/mnt/y"}, seed=7
+        )
+        assert plain.fingerprint() == with_transport.fingerprint() == moved.fingerprint()
+        assert (
+            plain.fingerprint()
+            != Job(key="a", fn=_mul_job, params={"a": 3, "b": 4, "c": 0}, seed=7).fingerprint()
+        )
+
     def test_duplicate_keys_rejected(self):
         job = Job(key="a", fn=_mul_job, params={"a": 1, "b": 2})
         with pytest.raises(SweepError):
@@ -211,6 +231,40 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         with pytest.raises(SweepError):
             cache.put("ab" * 32, "bad", {"oops": object()})
+
+    def test_killed_writer_tmp_files_are_ignored_and_swept(self, tmp_path):
+        """Regression: a worker killed mid-put leaves `<fp>.tmp.<pid>` behind.
+
+        Orphaned temp files must be invisible to fingerprints()/len(),
+        must not block a rerun from committing the real entry, and must be
+        swept by clear() instead of accumulating forever.
+        """
+        cache = ResultCache(tmp_path)
+        job = Job(key="a", fn=_mul_job, params={"a": 2, "b": 3}, seed=1)
+        fingerprint = job.fingerprint()
+        # Simulate the kill: the temp file exists, os.replace never ran.
+        orphan = cache.path_for(fingerprint).with_suffix(".tmp.99999")
+        orphan.parent.mkdir(parents=True, exist_ok=True)
+        orphan.write_text('{"fingerprint": "truncated mid-wri')
+        stale = cache.path_for(fingerprint).parent / "0123.tmp.4"
+        stale.write_text("")
+
+        assert len(cache) == 0
+        assert list(cache.fingerprints()) == []
+        assert fingerprint not in cache
+        assert cache.get(fingerprint) is None
+        assert set(cache.stale_tmp_files()) == {stale, orphan}
+
+        # The rerun commits the entry; the orphans are still not entries.
+        result = SweepRunner(workers=1, cache=cache).run(SweepSpec("c", [job]))
+        assert result.executed == 1
+        assert list(cache.fingerprints()) == [fingerprint]
+        assert len(cache) == 1
+
+        # clear() counts the one entry and sweeps every orphan.
+        assert cache.clear() == 1
+        assert not orphan.exists() and not stale.exists()
+        assert len(cache) == 0 and cache.stale_tmp_files() == []
 
 
 @pytest.mark.slow
