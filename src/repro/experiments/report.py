@@ -8,7 +8,7 @@ configuration and policy).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence
 
 from repro.experiments.breakdown import BreakdownResult
 from repro.experiments.isolation import IsolationMeasurement, normalize_isolation
@@ -21,6 +21,9 @@ from repro.experiments.summary import HeadlineSummary
 from repro.experiments.training import TrainingStudyResult
 from repro.soc.coherence import COHERENCE_MODES
 from repro.utils.tables import format_table
+
+if TYPE_CHECKING:  # imported lazily to keep repro.models optional here
+    from repro.models.transfer import TransferMatrix
 
 
 def report_isolation(measurements: Sequence[IsolationMeasurement]) -> str:
@@ -145,6 +148,37 @@ def report_overhead(measurements: Sequence[OverheadMeasurement]) -> str:
         ["workload footprint", "overhead (% of execution time)"],
         rows,
         title="Section 6 — Cohmeleon runtime overhead",
+    )
+
+
+def report_transfer_matrix(matrix: "TransferMatrix") -> str:
+    """Robustness/transfer report: models x scenarios, normalised per column.
+
+    One row per (model, scenario) cell with execution time and off-chip
+    accesses normalised to the reference policy run on the same scenario;
+    the last column marks transfer cells (model evaluated off its
+    training scenario) versus native ones.
+    """
+    rows: List[List[object]] = []
+    for cell in matrix.cells:
+        rows.append(
+            [
+                cell.model,
+                cell.scenario,
+                f"{cell.norm_exec:.3f}",
+                f"{cell.norm_mem:.3f}",
+                cell.digest[:12],
+                "transfer" if cell.transfer else "native",
+            ]
+        )
+    return format_table(
+        ["model", "scenario", "norm exec", "norm mem", "cell digest", "kind"],
+        rows,
+        title=(
+            f"Transfer matrix — {len(matrix.models)} models x "
+            f"{len(matrix.scenarios)} scenarios "
+            f"(normalised to {matrix.reference_policy})"
+        ),
     )
 
 

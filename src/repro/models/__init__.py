@@ -53,16 +53,27 @@ from repro.models.registry import (
     validate_model_name,
 )
 from repro.models.train import TrainingRun, train_artifact
+from repro.models.transfer import (
+    MATRIX_FORMAT,
+    MATRIX_VERSION,
+    TransferCell,
+    TransferMatrix,
+    transfer_matrix,
+)
 
 __all__ = [
     "ARTIFACT_FORMAT",
     "ARTIFACT_VERSION",
     "DEFAULT_MODELS_DIR",
+    "MATRIX_FORMAT",
+    "MATRIX_VERSION",
     "MODELS_DIR_ENV",
     "ModelRegistry",
     "PROVENANCE_FIELDS",
     "PolicyArtifact",
     "TrainingRun",
+    "TransferCell",
+    "TransferMatrix",
     "build_provenance",
     "default_models_dir",
     "load_artifact",
@@ -70,5 +81,6 @@ __all__ = [
     "payload_digest",
     "resolve_pretrained",
     "train_artifact",
+    "transfer_matrix",
     "validate_model_name",
 ]

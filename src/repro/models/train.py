@@ -36,7 +36,11 @@ def _train_policy_job(params: Dict[str, object], rng) -> Dict[str, object]:
     so the artifact this job emits reproduces exactly what an in-process
     train-then-evaluate run would have evaluated.
     """
-    scenario = resolve_scenario(str(params["scenario"]), params.get("source"))  # type: ignore[arg-type]
+    scenario = resolve_scenario(
+        str(params["scenario"]),
+        params.get("source"),  # type: ignore[arg-type]
+        params.get("generated"),  # type: ignore[arg-type]
+    )
     seed = int(params["seed"])  # type: ignore[arg-type]
     iterations = int(params["training_iterations"])  # type: ignore[arg-type]
     setup = scenario.build_setup(seed=seed)
@@ -121,17 +125,23 @@ def train_artifact(
             f"training an artifact needs at least one iteration, got {iterations}"
         )
     definition = scenario_definition_digest(scenario, seed=run_seed)
+    params: Dict[str, object] = {
+        "scenario": scenario.name,
+        "source": scenario.source,
+        "definition": definition,
+        "policy_kind": "cohmeleon",
+        "seed": run_seed,
+        "training_iterations": iterations,
+    }
+    if scenario.source is None and "generated" in scenario.metadata:
+        # Procedurally generated scenarios exist only in memory; forward
+        # their (spec, index) identity so sweep workers can regenerate
+        # them (see repro.scenarios.generate).
+        params["generated"] = scenario.metadata["generated"]
     job = Job(
         key="train",
         fn=_train_policy_job,
-        params={
-            "scenario": scenario.name,
-            "source": scenario.source,
-            "definition": definition,
-            "policy_kind": "cohmeleon",
-            "seed": run_seed,
-            "training_iterations": iterations,
-        },
+        params=params,
         seed=run_seed,
     )
     outcome = run_spec(SweepSpec(name=f"train-{scenario.name}", jobs=[job]), runner)

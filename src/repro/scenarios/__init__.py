@@ -12,7 +12,12 @@ places, all landing in one registry:
 * **scenario files** (TOML/JSON, see :mod:`repro.scenarios.loader`) so new
   workloads need no code — drop a file in a directory named by
   ``REPRO_SCENARIO_PATH`` or pass its path to the CLI;
-* **user code** calling :func:`register` directly.
+* **user code** calling :func:`register` directly;
+* **procedural generation** (:mod:`repro.scenarios.generate`): a seeded
+  :class:`~repro.scenarios.generate.GenerationSpec` samples SoC
+  topologies, workload mixes, and non-stationary traffic into ordinary
+  scenario documents — thousands of registry-grade scenarios from one
+  declarative spec, each stamped with a content digest.
 
 Running a scenario (:func:`run_scenario`, or ``python -m repro.scenarios
 run <name>``) dispatches one sweep job per policy through the
@@ -29,6 +34,15 @@ True
 'SoC5'
 """
 
+from repro.scenarios.generate import (
+    GeneratedScenario,
+    GenerationSpec,
+    generate_scenario,
+    generate_scenarios,
+    load_generation_spec,
+    scenario_digest,
+    scenario_from_generated,
+)
 from repro.scenarios.loader import load_scenario_file, load_scenario_mapping
 from repro.scenarios.registry import (
     all_scenarios,
@@ -44,6 +58,7 @@ from repro.scenarios.run import (
     evaluate_scenario_policy,
     resolve_scenario,
     run_scenario,
+    scenario_job_params,
 )
 from repro.scenarios.scenario import (
     DEFAULT_SCENARIO_POLICIES,
@@ -54,6 +69,8 @@ from repro.scenarios.scenario import (
 
 __all__ = [
     "DEFAULT_SCENARIO_POLICIES",
+    "GeneratedScenario",
+    "GenerationSpec",
     "Scenario",
     "ScenarioRunResult",
     "TESTING_INSTANCE",
@@ -61,13 +78,19 @@ __all__ = [
     "all_scenarios",
     "discover",
     "evaluate_scenario_policy",
+    "generate_scenario",
+    "generate_scenarios",
     "get_scenario",
+    "load_generation_spec",
     "load_scenario_file",
     "load_scenario_mapping",
     "register",
     "register_scenario",
     "resolve_scenario",
     "run_scenario",
+    "scenario_digest",
+    "scenario_from_generated",
+    "scenario_job_params",
     "scenario_names",
     "unregister",
 ]

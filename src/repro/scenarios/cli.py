@@ -11,12 +11,17 @@ Examples
     python -m repro.scenarios run soc5-autonomous --policies all
     python -m repro.scenarios run my-scenario.toml --no-cache
     python -m repro.scenarios run quickstart --pretrained qs-demo
+    python -m repro.scenarios generate --spec fleet.toml --count 100 --validate
+    python -m repro.scenarios matrix --all-models --spec fleet.toml --count 8
     python -m repro.scenarios gallery --check
 
 ``run`` accepts a registered scenario name or a path to a ``.toml`` /
 ``.json`` scenario file and dispatches one sweep job per policy through
 the same runner/cache machinery as ``python -m repro.experiments``; a
 rerun with an unchanged configuration is served entirely from the cache.
+``generate`` samples scenarios from a declarative generation spec (see
+``docs/generation.md``) and ``matrix`` evaluates saved trained-policy
+models across a scenario fleet into a robustness/transfer matrix.
 """
 
 from __future__ import annotations
@@ -43,6 +48,64 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    """Add the shared sweep-runner flags (``run`` and ``matrix``)."""
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: one per CPU; 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".sweep-cache",
+        metavar="DIR",
+        help="on-disk result cache location (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("auto",) + BACKEND_NAMES,
+        default="auto",
+        help="execution backend (default: process pool when workers > 1)",
+    )
+    parser.add_argument(
+        "--manifest-dir",
+        default=None,
+        metavar="DIR",
+        help="sweep manifest location (default: <cache-dir>/manifests)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip jobs an existing manifest records complete "
+        "(digest-verified against the cache)",
+    )
+
+
+def _runner_from_args(args: argparse.Namespace) -> tuple:
+    """Build the (runner, workers, cache) triple from the shared flags."""
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if cache is None and args.resume:
+        raise ConfigurationError("--resume needs the result cache; drop --no-cache")
+    workers = args.workers if args.workers is not None else autodetect_workers()
+    if args.manifest_dir is not None:
+        manifest_dir = Path(args.manifest_dir)
+    else:
+        manifest_dir = None if cache is None else Path(args.cache_dir) / "manifests"
+    runner = SweepRunner(
+        workers=workers,
+        cache=cache,
+        backend=None if args.backend == "auto" else args.backend,
+        manifest_dir=manifest_dir,
+        resume=args.resume,
+    )
+    return runner, workers, cache
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,40 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run a scenario's policy comparison through the sweep runner"
     )
     run_parser.add_argument("name", help="scenario name or scenario-file path")
-    run_parser.add_argument(
-        "--workers",
-        type=_positive_int,
-        default=None,
-        metavar="N",
-        help="worker processes (default: one per CPU; 1 = serial)",
-    )
-    run_parser.add_argument(
-        "--cache-dir",
-        default=".sweep-cache",
-        metavar="DIR",
-        help="on-disk result cache location (default: %(default)s)",
-    )
-    run_parser.add_argument(
-        "--no-cache", action="store_true", help="disable the result cache"
-    )
-    run_parser.add_argument(
-        "--backend",
-        choices=("auto",) + BACKEND_NAMES,
-        default="auto",
-        help="execution backend (default: process pool when workers > 1)",
-    )
-    run_parser.add_argument(
-        "--manifest-dir",
-        default=None,
-        metavar="DIR",
-        help="sweep manifest location (default: <cache-dir>/manifests)",
-    )
-    run_parser.add_argument(
-        "--resume",
-        action="store_true",
-        help="skip jobs an existing manifest records complete "
-        "(digest-verified against the cache)",
-    )
+    _add_runner_arguments(run_parser)
     run_parser.add_argument(
         "--seed", type=int, default=None, help="override the scenario's default seed"
     )
@@ -142,6 +172,112 @@ def build_parser() -> argparse.ArgumentParser:
         help="model registry directory used by --pretrained "
         "(default: $REPRO_MODELS_DIR or .repro-models)",
     )
+
+    generate_parser = commands.add_parser(
+        "generate",
+        help="procedurally generate scenarios from a declarative spec",
+    )
+    generate_parser.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="generation spec (.toml/.json; default: the built-in default spec)",
+    )
+    generate_parser.add_argument(
+        "--count",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="override the spec's scenario count",
+    )
+    generate_parser.add_argument(
+        "--seed", type=int, default=None, help="override the spec's base seed"
+    )
+    generate_parser.add_argument(
+        "--prefix",
+        default=None,
+        metavar="NAME",
+        help="override the spec's scenario-name prefix",
+    )
+    generate_parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="additionally assemble each scenario's SoC and applications",
+    )
+    generate_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="write one scenario file per generated scenario into DIR",
+    )
+    generate_parser.add_argument(
+        "--format",
+        choices=("toml", "json"),
+        default="toml",
+        help="scenario-file format for --out (default: %(default)s)",
+    )
+    generate_parser.add_argument(
+        "--digests",
+        default=None,
+        metavar="FILE",
+        help="write the (spec digest, per-scenario digests) manifest as JSON",
+    )
+
+    matrix_parser = commands.add_parser(
+        "matrix",
+        help="evaluate saved models across a scenario fleet "
+        "(robustness/transfer matrix)",
+    )
+    matrix_parser.add_argument(
+        "--models",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated model-registry names (or artifact-file paths)",
+    )
+    matrix_parser.add_argument(
+        "--all-models",
+        action="store_true",
+        help="evaluate every model in the registry",
+    )
+    matrix_parser.add_argument(
+        "--models-dir",
+        default=None,
+        metavar="DIR",
+        help="model registry directory (default: $REPRO_MODELS_DIR or .repro-models)",
+    )
+    matrix_parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="a scenario name or scenario-file path (repeatable)",
+    )
+    matrix_parser.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="also evaluate on scenarios generated from this spec",
+    )
+    matrix_parser.add_argument(
+        "--count",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="override the generation spec's scenario count",
+    )
+    matrix_parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="root seed for every cell (default: each scenario's own seed)",
+    )
+    matrix_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the matrix document as canonical JSON",
+    )
+    _add_runner_arguments(matrix_parser)
 
     gallery_parser = commands.add_parser(
         "gallery", help="regenerate the README/docs scenario gallery"
@@ -261,27 +397,12 @@ def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
             policy_kinds = list(STANDARD_POLICY_KINDS)
         else:
             policy_kinds = [kind for kind in args.policies.split(",") if kind]
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    if cache is None and args.resume:
-        print("error: --resume needs the result cache; drop --no-cache", file=out)
-        return 2
     pretrained = None
     if args.pretrained is not None:
         from repro.models.registry import resolve_pretrained
 
         pretrained = resolve_pretrained(args.pretrained, models_dir=args.models_dir)
-    workers = args.workers if args.workers is not None else autodetect_workers()
-    if args.manifest_dir is not None:
-        manifest_dir = Path(args.manifest_dir)
-    else:
-        manifest_dir = None if cache is None else Path(args.cache_dir) / "manifests"
-    runner = SweepRunner(
-        workers=workers,
-        cache=cache,
-        backend=None if args.backend == "auto" else args.backend,
-        manifest_dir=manifest_dir,
-        resume=args.resume,
-    )
+    runner, workers, cache = _runner_from_args(args)
 
     started = time.perf_counter()
     result = run_scenario(
@@ -305,6 +426,159 @@ def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
         f"resumed={result.resumed} "
         f"workers={workers} workers_used={result.workers_used} "
         f"cache={cache_note}{pretrained_note} elapsed={elapsed:.1f}s",
+        file=out,
+    )
+    return 0
+
+
+def _generation_spec(args: argparse.Namespace):
+    """Load the generation spec and apply the CLI overrides."""
+    from dataclasses import replace
+
+    from repro.scenarios.generate import GenerationSpec, load_generation_spec
+
+    spec = GenerationSpec() if args.spec is None else load_generation_spec(args.spec)
+    overrides = {}
+    if args.count is not None:
+        overrides["count"] = args.count
+    if getattr(args, "seed", None) is not None and args.command == "generate":
+        overrides["seed"] = args.seed
+    if getattr(args, "prefix", None) is not None:
+        overrides["name_prefix"] = args.prefix
+    return replace(spec, **overrides) if overrides else spec
+
+
+def _cmd_generate(args: argparse.Namespace, out: TextIO) -> int:
+    from repro.scenarios.generate import (
+        document_json,
+        document_toml,
+        generate_scenarios,
+        spec_digest,
+    )
+
+    spec = _generation_spec(args)
+    generated = generate_scenarios(spec)
+    rows: List[List[object]] = []
+    for item in generated:
+        # .scenario() runs the full loader validation; --validate goes
+        # further and assembles the SoC plus both application instances.
+        scenario = item.scenario()
+        if args.validate:
+            setup = scenario.build_setup()
+            scenario.applications(setup)
+        soc = item.document["soc"]
+        phases = item.document["application"]["phases"]
+        rows.append(
+            [
+                item.index,
+                item.name,
+                f"{soc['noc_rows']}x{soc['noc_cols']}",
+                soc["accelerator_tiles"],
+                len(phases),
+                "yes" if "non-stationary" in item.document["scenario"]["tags"] else "no",
+            ]
+        )
+    print(
+        format_table(
+            ["#", "scenario", "NoC", "tiles", "phases", "non-stationary"],
+            rows,
+            title=f"Generated scenarios (spec {spec_digest(spec)[:12]}, "
+            f"seed {spec.seed})",
+        ),
+        file=out,
+    )
+    if args.out is not None:
+        out_dir = Path(args.out)
+        try:
+            out_dir.mkdir(parents=True, exist_ok=True)
+            for item in generated:
+                render = document_toml if args.format == "toml" else document_json
+                path = out_dir / f"{item.name}.{args.format}"
+                path.write_text(render(item.document), encoding="utf-8")
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot write generated scenarios under {out_dir}: {exc}"
+            ) from exc
+        print(f"wrote {len(generated)} scenario files to {out_dir}", file=out)
+    if args.digests is not None:
+        manifest = {
+            "spec": spec_digest(spec),
+            "seed": spec.seed,
+            "scenarios": [
+                {"index": item.index, "name": item.name, "digest": item.digest}
+                for item in generated
+            ],
+        }
+        try:
+            Path(args.digests).write_text(
+                json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot write the digest manifest to {args.digests}: {exc}"
+            ) from exc
+    validated = " validated=yes" if args.validate else ""
+    print(
+        f"\n[generate] spec={spec_digest(spec)[:12]} count={len(generated)}"
+        f"{validated}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace, out: TextIO) -> int:
+    from repro.experiments.report import report_transfer_matrix
+    from repro.models import ModelRegistry, transfer_matrix
+    from repro.models.registry import resolve_pretrained
+    from repro.scenarios.generate import generate_scenarios
+
+    # Flag contradictions fail before any model/scenario loading starts.
+    runner, workers, cache = _runner_from_args(args)
+    if args.all_models:
+        registry = ModelRegistry(args.models_dir)
+        artifacts = registry.load_all()
+        if not artifacts:
+            raise ConfigurationError(
+                f"no models registered under {registry.root}; train one "
+                "with python -m repro.models train"
+            )
+    elif args.models:
+        artifacts = [
+            resolve_pretrained(name, models_dir=args.models_dir)
+            for name in args.models.split(",")
+            if name
+        ]
+    else:
+        raise ConfigurationError("matrix needs --models NAMES or --all-models")
+
+    scenarios = [_load_target(name) for name in (args.scenario or [])]
+    if args.spec is not None:
+        spec = _generation_spec(args)
+        scenarios.extend(item.scenario() for item in generate_scenarios(spec))
+    if not scenarios:
+        raise ConfigurationError("matrix needs --scenario NAME and/or --spec FILE")
+
+    started = time.perf_counter()
+    matrix = transfer_matrix(artifacts, scenarios, runner=runner, seed=args.seed)
+    elapsed = time.perf_counter() - started
+
+    print(report_transfer_matrix(matrix), file=out)
+    if args.out is not None:
+        try:
+            Path(args.out).write_text(matrix.dumps(), encoding="utf-8")
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot write the matrix document to {args.out}: {exc}"
+            ) from exc
+        print(f"\nwrote matrix document to {args.out}", file=out)
+    cache_note = "disabled" if cache is None else str(cache.cache_dir)
+    print(
+        f"\n[matrix] models={len(artifacts)} scenarios={len(scenarios)} "
+        f"cells={len(matrix.cells)} executed={matrix.executed} "
+        f"cache_hits={matrix.cache_hits} workers={workers} "
+        f"workers_used={matrix.workers_used} cache={cache_note} "
+        f"elapsed={elapsed:.1f}s",
         file=out,
     )
     return 0
@@ -342,6 +616,8 @@ _COMMANDS = {
     "list": _cmd_list,
     "describe": _cmd_describe,
     "run": _cmd_run,
+    "generate": _cmd_generate,
+    "matrix": _cmd_matrix,
     "gallery": _cmd_gallery,
 }
 

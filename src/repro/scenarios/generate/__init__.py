@@ -1,0 +1,72 @@
+"""Procedural scenario generation: from 16 curated scenarios to thousands.
+
+The PR 2 registry loads scenarios from declarative data; this subpackage
+exploits that by *generating* the data.  A :class:`GenerationSpec` (itself
+loadable from a TOML/JSON file, see :mod:`repro.scenarios.generate.spec`)
+describes distributions over SoC topologies (tile counts, cache sizes,
+NoC shapes, memory-tile placement), workload mixes, and non-stationary
+traffic (phase-shifting workloads, bursty arrivals).  The generator
+(:mod:`repro.scenarios.generate.generator`) samples that space with
+explicitly seeded RNG streams and emits ordinary scenario *documents* —
+the exact TOML/JSON mapping schema :mod:`repro.scenarios.loader`
+validates — so generated scenarios are first-class registry citizens:
+they pass the same validation as builtins, run through the sharded sweep
+runner, and can be written to disk as normal scenario files.
+
+The determinism/digest contract:
+
+* generation is a pure function of ``(spec, seed)`` — the same spec and
+  seed yield a byte-identical document, byte-identical TOML/JSON export
+  (:mod:`repro.scenarios.generate.export`), and an equal content digest;
+* every generated scenario carries a SHA-256 digest derived from
+  ``(spec, seed)``; the digest prefixes the scenario name, so identical
+  specs produce identical scenario identities and therefore identical
+  sweep-job fingerprints — re-running a sweep over regenerated scenarios
+  is a pure cache hit;
+* different seeds yield distinct digests and distinct scenarios.
+
+``python -m repro.scenarios generate`` drives the generator from the
+command line and ``python -m repro.scenarios matrix`` feeds fleets of
+generated scenarios through the PR 5 ``--pretrained`` transfer evaluation
+to produce a robustness/transfer matrix (see
+:func:`repro.models.transfer_matrix` and ``docs/generation.md``).
+"""
+
+from repro.scenarios.generate.export import document_json, document_toml
+from repro.scenarios.generate.generator import (
+    GeneratedScenario,
+    generate_document,
+    generate_scenario,
+    generate_scenarios,
+    scenario_digest,
+    scenario_from_generated,
+)
+from repro.scenarios.generate.spec import (
+    GenerationSpec,
+    NonStationarySpec,
+    TopologySpec,
+    WorkloadSpec,
+    generation_spec_from_mapping,
+    load_generation_spec,
+    spec_digest,
+    spec_to_mapping,
+)
+
+__all__ = [
+    "GeneratedScenario",
+    "GenerationSpec",
+    "NonStationarySpec",
+    "TopologySpec",
+    "WorkloadSpec",
+    "document_json",
+    "document_toml",
+    "generate_document",
+    "generate_scenario",
+    "generate_scenarios",
+    "generation_spec_from_mapping",
+    "load_generation_spec",
+    "scenario_digest",
+    "scenario_from_generated",
+    "spec_digest",
+    "spec_to_mapping",
+]

@@ -1,0 +1,100 @@
+"""Byte-stable TOML/JSON export of generated scenario documents.
+
+Both renderers are deterministic functions of the document mapping:
+:func:`document_json` is canonical JSON (sorted keys, fixed separators),
+and :func:`document_toml` is a small emitter covering exactly the value
+shapes the generator produces and the scenario loader accepts — strings,
+integers, floats, booleans, flat arrays, nested tables, and arrays of
+tables (recursively, for ``[[application.phases.threads]]``).  Exported
+text round-trips: ``tomllib.loads(document_toml(doc)) == doc`` and
+``json.loads(document_json(doc)) == doc``, which the property tests
+assert for arbitrary generated documents.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def document_json(document: Mapping[str, object]) -> str:
+    """Render a scenario document as canonical JSON (newline-terminated)."""
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def _toml_scalar(value: object, where: str) -> str:
+    """Render one TOML scalar value."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ConfigurationError(f"{where}: non-finite float {value!r}")
+        # repr() round-trips floats exactly; TOML floats need a decimal point.
+        text = repr(value)
+        return text if ("." in text or "e" in text) else f"{text}.0"
+    if isinstance(value, str):
+        # json.dumps produces a valid TOML basic string for any text free
+        # of control characters, which scenario documents are.
+        return json.dumps(value)
+    raise ConfigurationError(
+        f"{where}: cannot render {type(value).__name__} as a TOML scalar"
+    )
+
+
+def _is_table_array(value: object) -> bool:
+    return (
+        isinstance(value, Sequence)
+        and not isinstance(value, (str, bytes))
+        and len(value) > 0
+        and all(isinstance(item, Mapping) for item in value)
+    )
+
+
+def _emit_table(
+    table: Mapping[str, object], prefix: str, lines: List[str]
+) -> None:
+    """Emit one table: scalars first, then sub-tables, then table arrays."""
+    nested: List[str] = []
+    arrays: List[str] = []
+    for key, value in table.items():
+        where = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, Mapping):
+            nested.append(key)
+        elif _is_table_array(value):
+            arrays.append(key)
+        elif isinstance(value, Sequence) and not isinstance(value, (str, bytes)):
+            items = ", ".join(
+                _toml_scalar(item, f"{where}[{index}]")
+                for index, item in enumerate(value)
+            )
+            lines.append(f"{key} = [{items}]")
+        else:
+            lines.append(f"{key} = {_toml_scalar(value, where)}")
+    for key in nested:
+        path = f"{prefix}.{key}" if prefix else key
+        lines.append("")
+        lines.append(f"[{path}]")
+        _emit_table(table[key], path, lines)  # type: ignore[arg-type]
+    for key in arrays:
+        path = f"{prefix}.{key}" if prefix else key
+        for item in table[key]:  # type: ignore[union-attr]
+            lines.append("")
+            lines.append(f"[[{path}]]")
+            _emit_table(item, path, lines)
+
+
+def document_toml(document: Mapping[str, object]) -> str:
+    """Render a scenario document as TOML (newline-terminated).
+
+    Key order follows the document's insertion order, which the generator
+    fixes — so the same document always renders to the same bytes.
+    """
+    lines: List[str] = []
+    _emit_table(document, "", lines)
+    while lines and not lines[0]:
+        lines.pop(0)
+    return "\n".join(lines) + "\n"

@@ -31,15 +31,32 @@ from repro.utils.stats import geometric_mean
 from repro.utils.tables import format_table
 
 
-def resolve_scenario(name: str, source: Optional[str] = None) -> Scenario:
+def resolve_scenario(
+    name: str,
+    source: Optional[str] = None,
+    generated: Optional[Dict[str, object]] = None,
+) -> Scenario:
     """Find the scenario a sweep job refers to.
 
-    File-based scenarios are re-loaded from their source path so worker
+    File-based scenarios are re-loaded from their source path and
+    procedurally generated scenarios are re-generated from their
+    ``generated`` parameters (the spec mapping plus index stamped into
+    scenario metadata by :mod:`repro.scenarios.generate`), so worker
     processes never depend on the parent's registry state; registered
     scenarios are looked up by name after discovery.  Also used by the
     :mod:`repro.models` training jobs, which resolve scenarios the same
     way inside worker processes.
     """
+    if generated is not None:
+        from repro.scenarios.generate import scenario_from_generated
+
+        scenario = scenario_from_generated(generated)
+        if scenario.name != name:
+            raise ConfigurationError(
+                f"generated-scenario parameters produce {scenario.name!r}, "
+                f"expected {name!r}"
+            )
+        return scenario
     if source is not None:
         from repro.scenarios.loader import load_scenario_file
 
@@ -144,7 +161,11 @@ def _scenario_policy_job(params: Dict[str, object], rng) -> Dict[str, object]:
     digest gate holds even when the file changed between scheduling and
     execution.
     """
-    scenario = resolve_scenario(str(params["scenario"]), params.get("source"))  # type: ignore[arg-type]
+    scenario = resolve_scenario(
+        str(params["scenario"]),
+        params.get("source"),  # type: ignore[arg-type]
+        params.get("generated"),  # type: ignore[arg-type]
+    )
     pretrained = None
     if params.get("_pretrained_path") is not None:
         from repro.models.artifact import load_artifact
@@ -161,6 +182,55 @@ def _scenario_policy_job(params: Dict[str, object], rng) -> Dict[str, object]:
         pretrained=pretrained,
     )
     return evaluation.to_dict()
+
+
+def scenario_job_params(
+    scenario: Scenario,
+    policy_kind: str,
+    seed: int,
+    training_iterations: int,
+    definition: Optional[str] = None,
+    pretrained: Optional[object] = None,
+) -> Dict[str, object]:
+    """Build the parameter mapping for one (scenario, policy) sweep job.
+
+    This is the single definition of the job-parameter schema
+    :func:`_scenario_policy_job` consumes — :func:`run_scenario` and the
+    transfer-matrix builder (:func:`repro.models.transfer_matrix`) both
+    construct jobs through it so their fingerprints agree and cache
+    entries are shared.  Parameters are primitives only; procedurally
+    generated scenarios contribute their ``generated`` metadata (spec
+    mapping + index) so worker processes can regenerate them without a
+    registry or a file on disk.
+    """
+    if definition is None:
+        definition = scenario_definition_digest(scenario, seed=seed)
+    params: Dict[str, object] = {
+        "scenario": scenario.name,
+        "source": scenario.source,
+        "definition": definition,
+        "policy_kind": policy_kind,
+        "seed": seed,
+        "training_iterations": training_iterations,
+    }
+    if scenario.source is None and "generated" in scenario.metadata:
+        params["generated"] = scenario.metadata["generated"]
+    if pretrained is not None and policy_kind == "cohmeleon":
+        # The artifact digest joins the fingerprint (cache correctness:
+        # two different tables can never share a payload) and training
+        # is pinned to zero so the same frozen evaluation fingerprints
+        # identically regardless of the surrounding training budget.
+        # The load path is transport-only (underscore prefix): the
+        # digest alone is the artifact's identity, so renaming or
+        # relocating the registry never misses the cache.
+        params.update(
+            {
+                "training_iterations": 0,
+                "pretrained_digest": pretrained.digest,  # type: ignore[attr-defined]
+                "_pretrained_path": str(pretrained.source),  # type: ignore[attr-defined]
+            }
+        )
+    return params
 
 
 @dataclass
@@ -309,29 +379,14 @@ def run_scenario(
     definition = scenario_definition_digest(scenario, seed=run_seed)
     jobs = []
     for kind in kinds:
-        params: Dict[str, object] = {
-            "scenario": scenario.name,
-            "source": scenario.source,
-            "definition": definition,
-            "policy_kind": kind,
-            "seed": run_seed,
-            "training_iterations": iterations,
-        }
-        if pretrained is not None and kind == "cohmeleon":
-            # The artifact digest joins the fingerprint (cache correctness:
-            # two different tables can never share a payload) and training
-            # is pinned to zero so the same frozen evaluation fingerprints
-            # identically regardless of the surrounding training budget.
-            # The load path is transport-only (underscore prefix): the
-            # digest alone is the artifact's identity, so renaming or
-            # relocating the registry never misses the cache.
-            params.update(
-                {
-                    "training_iterations": 0,
-                    "pretrained_digest": pretrained.digest,  # type: ignore[attr-defined]
-                    "_pretrained_path": str(pretrained.source),  # type: ignore[attr-defined]
-                }
-            )
+        params = scenario_job_params(
+            scenario,
+            policy_kind=kind,
+            seed=run_seed,
+            training_iterations=iterations,
+            definition=definition,
+            pretrained=pretrained,
+        )
         jobs.append(Job(key=kind, fn=_scenario_policy_job, params=params, seed=run_seed))
     spec = SweepSpec(name=f"scenario-{scenario.name}", jobs=jobs)
     outcome = run_spec(spec, runner)
