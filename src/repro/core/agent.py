@@ -60,7 +60,12 @@ class QLearningAgent:
         allowed: Optional[Sequence[CoherenceMode]] = None,
     ) -> CoherenceMode:
         """Pick a coherence mode for ``state`` with epsilon-greedy exploration."""
-        candidates = list(allowed) if allowed else list(COHERENCE_MODES)
+        # Keep the canonical tuple itself when unrestricted: choice() draws
+        # by index so the RNG stream is unchanged, and best_mode() can skip
+        # per-candidate index lookups when it sees the canonical ordering.
+        candidates: Sequence[CoherenceMode] = (
+            list(allowed) if allowed else COHERENCE_MODES
+        )
         if not candidates:
             raise PolicyError("no coherence modes available to choose from")
         self.decisions += 1
@@ -75,6 +80,24 @@ class QLearningAgent:
             return self.qtable.value(state, mode)
         self.updates += 1
         return self.qtable.update(state, mode, reward, self.alpha)
+
+    def update_batch(
+        self,
+        states: Sequence[CoherenceState],
+        modes: Sequence[CoherenceMode],
+        rewards: Sequence[float],
+    ) -> None:
+        """Apply a batch of rewards in arrival order at the current ``alpha``.
+
+        Equivalent to calling :meth:`update` once per element — the batch
+        path replays the same scalar recurrence in the same order, so the
+        resulting table is bit-identical.  A no-op while frozen, like
+        :meth:`update`.
+        """
+        if not self.learning_enabled or self.alpha <= 0.0:
+            return
+        self.updates += len(states)
+        self.qtable.update_batch(states, modes, rewards, [self.alpha] * len(states))
 
     # ------------------------------------------------------------------
     # Schedules

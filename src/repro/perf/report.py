@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.perf.bench import BenchmarkResult
+from repro.utils.backend import active_backend
 
 #: Report format identifier (bump on breaking schema changes).
 SCHEMA = "repro-perf/1"
@@ -37,6 +38,7 @@ def make_report(
         "scale": scale,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
+        "core_backend": active_backend(),
         "benchmarks": {result.name: result.to_dict() for result in results},
     }
     if before is not None:

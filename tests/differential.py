@@ -1,0 +1,88 @@
+"""Shared helpers for the reference-vs-vectorized differential harness.
+
+The simulation core ships in two backends (``repro.utils.backend``):
+``reference`` defines the semantics and ``vectorized`` is the fast
+implementation.  They are bit-identical by contract.  The helpers here
+run an arbitrary experiment under every backend and assert the results
+agree — ``tests/test_core_differential.py`` builds the whole differential
+suite on top of them, and other suites can reuse them for spot checks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Callable, Dict, TypeVar
+
+from repro.utils.backend import CORE_BACKENDS, core_backend
+
+T = TypeVar("T")
+
+
+def payload_digest(payload: object) -> str:
+    """Return the canonical sha256 digest of a JSON-able payload.
+
+    The same canonical-JSON (sorted keys) digest convention as
+    ``repro.perf`` checksums and the sweep manifest payload digests, so
+    digests printed by failing differential tests can be compared against
+    those artifacts directly.
+    """
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def run_on_backends(fn: Callable[[], T]) -> Dict[str, T]:
+    """Run ``fn`` once under every core backend; return ``{backend: result}``.
+
+    ``fn`` must build every core object it uses *inside* the call (the
+    backend is captured at object construction), and must be
+    deterministic apart from the backend under test.
+    """
+    results: Dict[str, T] = {}
+    for name in CORE_BACKENDS:
+        with core_backend(name):
+            results[name] = fn()
+    return results
+
+
+def assert_backends_agree(fn: Callable[[], T], digest: bool = False) -> T:
+    """Run ``fn`` under every backend and assert all results are equal.
+
+    Returns the reference result.  With ``digest=True`` the results are
+    compared by :func:`payload_digest` — for deep JSON payloads where a
+    structural diff would be unreadable, and to assert exactly what the
+    perf/sweep contracts assert (payload-digest equality).
+    """
+    results = run_on_backends(fn)
+    reference = results["reference"]
+    if digest:
+        expected = payload_digest(reference)
+        for name, result in results.items():
+            actual = payload_digest(result)
+            assert actual == expected, (
+                f"core backend {name!r} diverged from reference: "
+                f"payload digest {actual} != {expected}"
+            )
+    else:
+        for name, result in results.items():
+            assert result == reference, (
+                f"core backend {name!r} diverged from reference"
+            )
+    return reference
+
+
+def cache_state(cache) -> Dict[str, object]:
+    """Full observable state of a :class:`SetAssociativeCache`.
+
+    Captures the per-set contents **in recency order** (LRU first — plain
+    dicts and ``OrderedDict`` both expose it as iteration order), the
+    resident/dirty counters, and the statistics, so comparing two states
+    asserts eviction order as well as final contents.
+    """
+    return {
+        "sets": [list(cache_set.items()) for cache_set in cache._sets],
+        "valid_lines": cache.valid_lines(),
+        "dirty_lines": cache.dirty_lines(),
+        "stats": cache.stats.as_dict(),
+    }

@@ -1,4 +1,9 @@
-"""Unit tests for the discrete-event engine."""
+"""Unit tests for the discrete-event engine.
+
+The whole module runs once per core backend (reference pop-loop and
+vectorized cohort loop, see the autouse fixture below), so every ordering
+and resume invariant is asserted against both run loops.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +13,11 @@ from hypothesis import strategies as st
 
 from repro.errors import SimulationError
 from repro.sim.engine import Engine, ResumeAt
+
+
+@pytest.fixture(autouse=True)
+def _backend_matrix(core_backend_name):
+    """Run every test in this module under each core backend."""
 
 
 def delay_process(log, tag, delays):

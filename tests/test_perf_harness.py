@@ -112,6 +112,36 @@ class TestCompare:
         waived = compare_reports(old, new, tolerance=0.2, check_determinism=False)
         assert all(f.ok for f in waived)
 
+    def test_work_count_drift_is_a_determinism_failure(self):
+        # Work-count drift means the revisions simulated different things —
+        # it must fail the gate even when the checksum happens to match and
+        # the rate looks better.
+        old = _report(a=100.0)
+        new = _report(a=500.0)
+        new["benchmarks"]["a"]["work"] = 101
+        findings = compare_reports(old, new, tolerance=0.2)
+        assert [f.kind for f in findings] == ["determinism"]
+        assert not findings[0].ok
+        assert "work 100 -> 101" in findings[0].message
+        waived = compare_reports(old, new, tolerance=0.2, check_determinism=False)
+        assert all(f.ok for f in waived)
+
+    def test_determinism_failure_short_circuits_the_rate_gate(self):
+        # A determinism failure makes timings incomparable: exactly one
+        # finding per drifted benchmark, and no rate verdict for it.
+        old = _report(a=100.0)
+        new = _report(a=1.0)  # would also fail the rate gate
+        new["benchmarks"]["a"]["work"] = 7
+        findings = compare_reports(old, new, tolerance=0.2)
+        assert [(f.kind, f.ok) for f in findings] == [("determinism", False)]
+
+    def test_rate_improvement_passes_and_is_reported(self):
+        # The rate gate is one-sided: only regressions fail, a speedup is
+        # reported with its ratio.
+        findings = compare_reports(_report(a=100.0), _report(a=300.0), tolerance=0.2)
+        assert [f.ok for f in findings] == [True]
+        assert "3.00x" in findings[0].message
+
     def test_missing_and_new_benchmarks(self):
         old = _report(a=100.0, gone=10.0)
         new = _report(a=100.0, fresh=1.0)
@@ -206,3 +236,45 @@ class TestCli:
     def test_compare_missing_file_errors(self, tmp_path, capsys):
         assert main(["compare", str(tmp_path / "a.json"), str(tmp_path / "b.json")]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_compare_exit_codes_for_each_gate(self, tmp_path, capsys):
+        # The CI gate consumes the exit code: 0 pass, 1 failed findings.
+        base = tmp_path / "base.json"
+        assert main(["run", "--quick", "--only", "engine_events", "--out", str(base)]) == 0
+        report = load_report(base)
+
+        drifted = copy.deepcopy(report)
+        drifted["benchmarks"]["engine_events"]["work"] += 1
+        drifted_path = tmp_path / "work-drift.json"
+        write_report(drifted, drifted_path)
+        assert main(["compare", str(base), str(drifted_path)]) == 1
+        assert "simulation changed" in capsys.readouterr().out
+
+        tampered = copy.deepcopy(report)
+        tampered["benchmarks"]["engine_events"]["checksum"] = "0" * 16
+        tampered_path = tmp_path / "checksum.json"
+        write_report(tampered, tampered_path)
+        assert main(["compare", str(base), str(tampered_path)]) == 1
+        assert "simulation changed" in capsys.readouterr().out
+
+        slower = copy.deepcopy(report)
+        slower["benchmarks"]["engine_events"]["rate"] = (
+            report["benchmarks"]["engine_events"]["rate"] * 0.01
+        )
+        slower_path = tmp_path / "rate.json"
+        write_report(slower, slower_path)
+        assert main(["compare", str(base), str(slower_path), "--tolerance", "0.5"]) == 1
+        out = capsys.readouterr().out
+        assert "rate regressed" in out
+
+    def test_report_records_core_backend(self, tmp_path):
+        # Reports name the core backend they ran under, so a baseline
+        # regenerated under the wrong backend is visible in review.
+        from repro.utils.backend import core_backend
+
+        out = tmp_path / "bench.json"
+        with core_backend("reference"):
+            assert main(
+                ["run", "--quick", "--only", "engine_events", "--out", str(out)]
+            ) == 0
+        assert load_report(out)["core_backend"] == "reference"

@@ -1,4 +1,9 @@
-"""Unit tests for the Q-table, the agent, and the coherence policies."""
+"""Unit tests for the Q-table, the agent, and the coherence policies.
+
+The whole module runs once per core backend (reference and vectorized,
+see the autouse fixture below), so every invariant here is asserted
+against both implementations of the Q-learning core.
+"""
 
 from __future__ import annotations
 
@@ -28,6 +33,11 @@ from repro.units import KB, MB
 from repro.utils.rng import SeededRNG
 
 from tests.test_state_reward import make_result, make_snapshot
+
+
+@pytest.fixture(autouse=True)
+def _backend_matrix(core_backend_name):
+    """Run every test in this module under each core backend."""
 
 
 def make_request(footprint=16 * KB, accelerator="FFT", tile="acc0"):
@@ -165,8 +175,9 @@ class TestQTable:
         table = QTable()
         # Near-tie below the old threshold: 5e-13 beats 0.0, but the old
         # `best - 1e-12` cutoff called them tied, consumed an RNG draw, and
-        # could return the strictly worse mode.
-        table._values[0][0] = 5e-13
+        # could return the strictly worse mode.  (alpha=1.0 sets the entry
+        # to exactly the reward, on every backend.)
+        table.update(0, COHERENCE_MODES[0], 5e-13, 1.0)
         rng = SeededRNG(0)
         before = rng.state()
         assert table.best_mode(STATE0, rng=rng) is COHERENCE_MODES[0]
@@ -174,8 +185,8 @@ class TestQTable:
         # depend on the exact draw sequence).
         assert rng.state() == before
         # Exactly equal values still tie and draw, at any magnitude.
-        table._values[0][0] = 1e9
-        table._values[0][1] = 1e9
+        table.update(0, COHERENCE_MODES[0], 1e9, 1.0)
+        table.update(0, COHERENCE_MODES[1], 1e9, 1.0)
         table.best_mode(STATE0, rng=rng)
         assert rng.state() != before
 
@@ -188,6 +199,62 @@ class TestQTable:
     def test_state_index_bounds(self):
         with pytest.raises(PolicyError):
             QTable().value(999, CoherenceMode.COH_DMA)
+
+    def test_update_sequence_digest_is_pinned(self):
+        """The exact float trajectory of a seeded 1k-step episode is frozen.
+
+        Guards the float-accumulation hazard in the batched update path:
+        the update rule is a sequential recurrence, so any reordering or
+        algebraic regrouping (e.g. folding a batch into a cumulative
+        product) changes IEEE-754 rounding and moves these digests.  The
+        module-level backend matrix asserts the same digests for the
+        reference and vectorized tables; ``update_batch`` must land on the
+        identical table as the per-step replay.
+        """
+        import hashlib
+        import json
+
+        from repro.core.state import NUM_STATES
+
+        def episode_args():
+            rng = SeededRNG(1234)
+            for step in range(1000):
+                state = rng.randint(0, NUM_STATES - 1)
+                mode = COHERENCE_MODES[rng.randint(0, 3)]
+                reward = rng.uniform(-2.0, 2.0)
+                yield state, mode, reward, 0.25 * (1.0 - step / 1000)
+
+        table = QTable()
+        trace = [table.update(*args) for args in episode_args()]
+        # repr() is the shortest round-trip form, so the digest pins every
+        # bit of every intermediate value, not just the final table.
+        sequence_digest = hashlib.sha256(
+            json.dumps([repr(value) for value in trace]).encode()
+        ).hexdigest()[:16]
+        table_digest = hashlib.sha256(
+            json.dumps(table.to_dict(), sort_keys=True).encode()
+        ).hexdigest()[:16]
+        assert sequence_digest == "f18e3e629c834026"
+        assert table_digest == "02d1125c3a155644"
+
+        batched = QTable()
+        args = list(episode_args())
+        batched.update_batch(
+            [state for state, _, _, _ in args],
+            [mode for _, mode, _, _ in args],
+            [reward for _, _, reward, _ in args],
+            [alpha for _, _, _, alpha in args],
+        )
+        assert batched.to_dict() == table.to_dict()
+
+    def test_update_batch_validates_inputs(self):
+        table = QTable()
+        # Mismatched sequence lengths.
+        with pytest.raises(PolicyError):
+            table.update_batch([0, 1], [CoherenceMode.COH_DMA], [1.0], [0.5])
+        # Out-of-range learning rate.
+        with pytest.raises(PolicyError):
+            table.update_batch([0], [CoherenceMode.COH_DMA], [1.0], [1.5])
 
 
 class TestAgent:
