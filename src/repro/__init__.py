@@ -23,7 +23,11 @@ The library is organised as follows:
 * :mod:`repro.models` — trained-policy persistence: digest-gated
   artifacts wrapping a trained Q-table with full provenance, a model
   registry, and the ``--pretrained`` warm-start path
-  (``python -m repro.models``).
+  (``python -m repro.models``);
+* :mod:`repro.serving` — the JSON/HTTP policy server: batched decision
+  requests, bounded what-if evaluations, atomic hot reload on registry
+  digest changes, and the SLO-gated deterministic load generator
+  (``python -m repro.serving``).
 
 The docs site under ``docs/`` (``mkdocs build``) covers every layer; see
 ``docs/architecture.md`` for the layer map.

@@ -46,3 +46,11 @@ class ModelError(ReproError):
     Raised by :mod:`repro.models` for corrupt, truncated, tampered, or
     version-incompatible artifacts and for bad registry operations.
     """
+
+
+class ServingError(ReproError):
+    """The policy-serving service was misconfigured or misused.
+
+    Raised by :mod:`repro.serving` for invalid requests, transport
+    failures, and server configuration problems.
+    """

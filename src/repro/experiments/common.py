@@ -208,12 +208,15 @@ def train_policy(
     training_app: ApplicationSpec,
     iterations: int,
     evaluation_hook: Optional[Callable[[int, CohmeleonPolicy], None]] = None,
+    max_events: Optional[int] = None,
 ) -> List[ApplicationResult]:
     """Train a Cohmeleon policy online for ``iterations`` application runs.
 
     Epsilon and alpha decay linearly to zero over the training iterations,
     as in the paper.  ``evaluation_hook`` (used by the Figure 8 study) is
     called after every iteration with the iteration index and the policy.
+    ``max_events`` bounds each phase's event budget (bounded what-if
+    evaluations; ``None`` keeps the engine default).
     """
     if iterations <= 0:
         return []
@@ -221,7 +224,9 @@ def train_policy(
     results: List[ApplicationResult] = []
     for iteration in range(iterations):
         policy.set_training_progress(iteration / iterations)
-        results.append(run_application(soc, runtime, training_app))
+        results.append(
+            run_application(soc, runtime, training_app, max_events=max_events)
+        )
         if evaluation_hook is not None:
             evaluation_hook(iteration, policy)
     return results
@@ -231,10 +236,11 @@ def evaluate_policy(
     setup: ExperimentSetup,
     policy: CoherencePolicy,
     test_app: ApplicationSpec,
+    max_events: Optional[int] = None,
 ) -> ApplicationResult:
     """Run ``test_app`` once under ``policy`` on a fresh SoC."""
     soc, runtime = build_runtime(setup, policy)
-    return run_application(soc, runtime, test_app)
+    return run_application(soc, runtime, test_app, max_events=max_events)
 
 
 def evaluate_one_policy(
@@ -244,17 +250,24 @@ def evaluate_one_policy(
     training_app: Optional[ApplicationSpec] = None,
     training_iterations: int = 10,
     policy_name: Optional[str] = None,
+    max_events: Optional[int] = None,
 ) -> PolicyEvaluation:
-    """Train (if learning) and evaluate one policy; mutates ``policy``."""
+    """Train (if learning) and evaluate one policy; mutates ``policy``.
+
+    ``max_events`` bounds every phase's event budget — training and
+    evaluation alike — so a caller holding a request-scoped budget (the
+    what-if path of :mod:`repro.serving`) cannot be run away from.
+    """
     training_results: List[ApplicationResult] = []
     if isinstance(policy, CohmeleonPolicy):
         if training_app is not None and training_iterations > 0:
             training_results = train_policy(
-                setup, policy, training_app, training_iterations
+                setup, policy, training_app, training_iterations,
+                max_events=max_events,
             )
         policy.freeze()
         policy.clear_history()
-    result = evaluate_policy(setup, policy, test_app)
+    result = evaluate_policy(setup, policy, test_app, max_events=max_events)
     return PolicyEvaluation(
         policy_name=policy_name if policy_name is not None else policy.name,
         result=result,

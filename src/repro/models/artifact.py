@@ -47,7 +47,7 @@ from typing import Dict, Optional, Union
 from repro import __version__
 from repro.core.policies import CohmeleonPolicy
 from repro.errors import ModelError
-from repro.utils.fileio import atomic_write_text
+from repro.utils.fileio import atomic_write_text, read_json_document
 
 #: The ``format`` marker every artifact document carries.
 ARTIFACT_FORMAT = "cohmeleon-policy-artifact"
@@ -293,11 +293,9 @@ def load_artifact(
     """Read, parse, and digest-verify the artifact stored at ``path``."""
     location = Path(path)
     try:
-        text = location.read_text()
+        document = read_json_document(location)
     except OSError as exc:
         raise ModelError(f"cannot read artifact {location}: {exc}") from exc
-    try:
-        document = json.loads(text)
     except ValueError as exc:
         raise ModelError(
             f"{location}: artifact is not valid JSON (corrupt or truncated): {exc}"

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import os
 import re
+import time
 from pathlib import Path
 from typing import List, Optional, Union
 
@@ -99,6 +100,43 @@ class ModelRegistry:
                 f"{path}: artifact is named {artifact.name!r}, expected {name!r}"
             )
         return artifact
+
+    def load_retry(
+        self,
+        name: str,
+        expected_digest: Optional[str] = None,
+        attempts: int = 2,
+        delay_s: float = 0.01,
+    ) -> PolicyArtifact:
+        """Load ``name`` with a short retry on :class:`ModelError`.
+
+        Artifacts are committed with ``atomic_write_text`` (an
+        ``os.replace`` of a complete temp file), so a reader racing a
+        writer sees the old document or the new one — but never half of
+        each — on POSIX filesystems.  Readers can still lose directory-level
+        races (a name observed by ``names()`` just before its file is
+        being replaced, or briefly absent on filesystems without atomic
+        rename semantics).  This helper turns those transient races into a
+        successful read of whichever version won: it retries the load once
+        (``attempts`` times in total) after ``delay_s``.  A genuinely
+        missing, corrupt, or digest-mismatched artifact still raises the
+        last :class:`ModelError` after the final attempt.
+
+        Long-lived readers — the serving hot-reload path in
+        :mod:`repro.serving` most of all — should prefer this over
+        :meth:`load`.
+        """
+        attempts = max(1, attempts)
+        last_error: Optional[ModelError] = None
+        for attempt in range(attempts):
+            try:
+                return self.load(name, expected_digest=expected_digest)
+            except ModelError as exc:
+                last_error = exc
+                if attempt + 1 < attempts:
+                    time.sleep(delay_s)
+        assert last_error is not None  # attempts >= 1, loop always runs
+        raise last_error
 
     def load_all(self) -> List[PolicyArtifact]:
         """Load every artifact in the registry, in name order."""

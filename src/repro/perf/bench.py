@@ -238,6 +238,87 @@ def _bench_fig9_headline(quick: bool) -> Tuple[int, str]:
     return invocations, _digest(payload)
 
 
+# ----------------------------------------------------------------------
+# Serving decision path (HTTP server + concurrent clients)
+# ----------------------------------------------------------------------
+def _bench_serving(quick: bool) -> Tuple[int, str]:
+    """Batched decisions through the full asyncio serving stack.
+
+    Builds a deterministic trained table (seeded updates, no simulation),
+    serves it from a temporary registry, and drives it with concurrent
+    keep-alive clients issuing batched ``/v1/decide`` requests.  ``work``
+    is the total decisions served; the checksum covers every decision
+    label in request order (but not the digest or library version), so it
+    is identical across machines and core backends — exactly the
+    determinism the serving contract promises.
+    """
+    import asyncio
+    import tempfile
+
+    from repro.core.policies import CohmeleonPolicy
+    from repro.core.state import NUM_STATES
+    from repro.models.artifact import PolicyArtifact, build_provenance
+    from repro.models.registry import ModelRegistry
+    from repro.serving.client import ServingClient
+    from repro.serving.http import ServingServer
+    from repro.serving.service import PolicyService
+    from repro.soc.coherence import COHERENCE_MODES
+    from repro.utils.rng import SeededRNG, derive_seed
+
+    clients = 4 if quick else 8
+    requests = 50 if quick else 150
+    batch = 64
+
+    policy = CohmeleonPolicy(rng=SeededRNG(11))
+    table = policy.agent.qtable
+    fill = SeededRNG(13)
+    for _ in range(3000):
+        table.update(
+            fill.randint(0, NUM_STATES - 1),
+            COHERENCE_MODES[fill.randint(0, len(COHERENCE_MODES) - 1)],
+            fill.uniform(-1.0, 1.0),
+            0.1,
+        )
+    policy.freeze()
+    artifact = PolicyArtifact.from_policy(
+        policy, "bench-serving", build_provenance("bench-serving", "0" * 64, 11, 0)
+    )
+
+    async def _client(
+        host: str, port: int, index: int, sink: "List[List[List[str]]]"
+    ) -> int:
+        rng = SeededRNG(derive_seed(17, "bench-serving", str(index)))
+        served = 0
+        async with ServingClient(host, port) as client:
+            for _ in range(requests):
+                states = [rng.randint(0, NUM_STATES - 1) for _ in range(batch)]
+                status, document = await client.decide(states)
+                if status != 200:
+                    raise RuntimeError(f"decision request failed with {status}")
+                decisions = [str(label) for label in document["decisions"]]
+                sink[index].append(decisions)
+                served += len(decisions)
+        return served
+
+    async def _run() -> "Tuple[int, List[List[List[str]]]]":
+        with tempfile.TemporaryDirectory() as tmp:
+            registry = ModelRegistry(tmp)
+            registry.save(artifact)
+            service = PolicyService(registry, "bench-serving")
+            async with ServingServer(service, reload_interval=0) as server:
+                sink: List[List[List[str]]] = [[] for _ in range(clients)]
+                totals = await asyncio.gather(
+                    *(
+                        _client(server.host, server.port, index, sink)
+                        for index in range(clients)
+                    )
+                )
+                return sum(totals), sink
+
+    served, sink = asyncio.run(_run())
+    return served, _digest(sink)
+
+
 #: Registry of benchmark callables; each returns ``(work, checksum)``.
 _BENCHMARKS: Dict[str, Tuple[Callable[[bool], Tuple[int, str]], str]] = {
     "engine_events": (_bench_engine_events, "events"),
@@ -245,6 +326,7 @@ _BENCHMARKS: Dict[str, Tuple[Callable[[bool], Tuple[int, str]], str]] = {
     "noc_routing": (_bench_noc_routing, "transfers"),
     "qlearning_step": (_bench_qlearning_step, "decisions"),
     "fig9_headline": (_bench_fig9_headline, "invocations"),
+    "serving": (_bench_serving, "decisions"),
 }
 
 #: Canonical benchmark ordering (isolated layers first, end-to-end last).

@@ -102,6 +102,7 @@ def evaluate_scenario_policy(
     seed: Optional[int] = None,
     training_iterations: Optional[int] = None,
     pretrained: Optional[object] = None,
+    max_events: Optional[int] = None,
 ) -> PolicyEvaluation:
     """Evaluate one policy kind on ``scenario`` in the current process.
 
@@ -115,6 +116,10 @@ def evaluate_scenario_policy(
     artifact's frozen policy — Q-table, hyper-parameters, and the exact
     RNG position it froze with — is evaluated as-is on the testing
     instance (the warm-start contract; see ``docs/models.md``).
+
+    ``max_events`` bounds every simulated phase's event budget — the
+    per-request bound of the :mod:`repro.serving` what-if path; exceeding
+    it raises :class:`~repro.errors.SimulationError`.
     """
     seed = scenario.default_seed if seed is None else seed
     iterations = (
@@ -135,6 +140,7 @@ def evaluate_scenario_policy(
             training_app=None,
             training_iterations=0,
             policy_name=policy_kind,
+            max_events=max_events,
         )
     hetero = None
     if policy_kind == "fixed-hetero":
@@ -149,6 +155,7 @@ def evaluate_scenario_policy(
         training_app=training_app,
         training_iterations=iterations,
         policy_name=policy_kind,
+        max_events=max_events,
     )
 
 
@@ -174,12 +181,14 @@ def _scenario_policy_job(params: Dict[str, object], rng) -> Dict[str, object]:
             str(params["_pretrained_path"]),
             expected_digest=str(params["pretrained_digest"]),
         )
+    max_events = params.get("max_events")
     evaluation = evaluate_scenario_policy(
         scenario,
         policy_kind=str(params["policy_kind"]),
         seed=int(params["seed"]),  # type: ignore[arg-type]
         training_iterations=int(params["training_iterations"]),  # type: ignore[arg-type]
         pretrained=pretrained,
+        max_events=None if max_events is None else int(max_events),  # type: ignore[arg-type]
     )
     return evaluation.to_dict()
 
@@ -191,6 +200,7 @@ def scenario_job_params(
     training_iterations: int,
     definition: Optional[str] = None,
     pretrained: Optional[object] = None,
+    max_events: Optional[int] = None,
 ) -> Dict[str, object]:
     """Build the parameter mapping for one (scenario, policy) sweep job.
 
@@ -215,6 +225,12 @@ def scenario_job_params(
     }
     if scenario.source is None and "generated" in scenario.metadata:
         params["generated"] = scenario.metadata["generated"]
+    if max_events is not None:
+        # A bounded run simulates different work than an unbounded one, so
+        # the budget joins the fingerprint.  It is only added when set,
+        # keeping every pre-existing (unbounded) fingerprint — and its
+        # cache entries — byte-identical.
+        params["max_events"] = int(max_events)
     if pretrained is not None and policy_kind == "cohmeleon":
         # The artifact digest joins the fingerprint (cache correctness:
         # two different tables can never share a payload) and training
@@ -326,6 +342,7 @@ def run_scenario(
     training_iterations: Optional[int] = None,
     runner: Optional[SweepRunner] = None,
     pretrained: Optional[object] = None,
+    max_events: Optional[int] = None,
 ) -> ScenarioRunResult:
     """Run ``scenario``'s policy comparison through the sweep runner.
 
@@ -349,6 +366,9 @@ def run_scenario(
         The artifact must have been saved to disk (workers re-load it from
         its path) and its digest becomes part of the job fingerprint, so
         the result cache distinguishes every table evaluated.
+    max_events:
+        Per-phase event budget for every job (``None`` = unbounded); a
+        bounded run fingerprints differently from an unbounded one.
 
     Returns
     -------
@@ -386,6 +406,7 @@ def run_scenario(
             training_iterations=iterations,
             definition=definition,
             pretrained=pretrained,
+            max_events=max_events,
         )
         jobs.append(Job(key=kind, fn=_scenario_policy_job, params=params, seed=run_seed))
     spec = SweepSpec(name=f"scenario-{scenario.name}", jobs=jobs)

@@ -1,0 +1,113 @@
+"""A minimal asyncio JSON-over-HTTP client for the serving protocol.
+
+The client exists for the repository's own consumers — the load generator
+(:mod:`repro.serving.loadtest`), the benchmarks, and the test suite — so
+it implements exactly what the protocol needs: one keep-alive HTTP/1.1
+connection per client, one JSON document per request and response, and no
+third-party dependencies.  Any ordinary HTTP client works against the
+server too; nothing here is bespoke framing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import ServingError
+
+
+class ServingClient:
+    """One keep-alive connection to a :class:`~repro.serving.ServingServer`."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> "ServingClient":
+        """Open the connection (idempotent); returns ``self``."""
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        return self
+
+    async def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def __aenter__(self) -> "ServingClient":
+        """Connect on entry."""
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        """Close on exit."""
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def request(
+        self, method: str, path: str, document: Optional[object] = None
+    ) -> Tuple[int, Dict[str, object]]:
+        """Send one request; return ``(status, decoded response document)``."""
+        await self.connect()
+        assert self._reader is not None and self._writer is not None
+        body = b"" if document is None else json.dumps(document).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n"
+            f"\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+        return await self._read_response()
+
+    async def _read_response(self) -> Tuple[int, Dict[str, object]]:
+        """Parse one HTTP response off the stream."""
+        assert self._reader is not None
+        head = await self._reader.readuntil(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ", 2)
+        if len(parts) < 2:
+            raise ServingError(f"malformed response status line {lines[0]!r}")
+        status = int(parts[1])
+        length = 0
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        payload = await self._reader.readexactly(length) if length else b""
+        document = json.loads(payload.decode("utf-8")) if payload else {}
+        if not isinstance(document, dict):
+            raise ServingError("response body is not a JSON object")
+        return status, document
+
+    # ------------------------------------------------------------------
+    # Protocol conveniences
+    # ------------------------------------------------------------------
+    async def get(self, path: str) -> Tuple[int, Dict[str, object]]:
+        """``GET path``."""
+        return await self.request("GET", path)
+
+    async def post(
+        self, path: str, document: object
+    ) -> Tuple[int, Dict[str, object]]:
+        """``POST path`` with a JSON body."""
+        return await self.request("POST", path, document)
+
+    async def decide(
+        self, states: Sequence[object]
+    ) -> Tuple[int, Dict[str, object]]:
+        """Batched decision request for ``states`` (wire formats welcome)."""
+        return await self.post("/v1/decide", {"states": list(states)})

@@ -1,0 +1,370 @@
+"""Asyncio HTTP/1.1 transport for the policy-serving service.
+
+Deliberately framework-free: :class:`ServingServer` sits directly on
+``asyncio.start_server`` with a small hand-rolled HTTP/1.1 request parser
+(request line, headers, ``Content-Length`` body, keep-alive), because the
+protocol surface is five routes exchanging single JSON documents and a
+framework would be the only third-party dependency in the repository.
+
+Concurrency model:
+
+* **Decisions, health, stats, reloads** run inline on the event loop —
+  they are sub-millisecond dictionary/numpy work, and running every
+  reload check on the loop serialises them against each other and against
+  decision handling without any locking.
+* **What-if simulations** are the one genuinely slow request class; they
+  are pushed to a small thread pool so a simulation never stalls the
+  decision hot path.  The handler captures the model snapshot before
+  dispatch, so a hot reload mid-simulation cannot tear the response.
+* A background task polls :meth:`PolicyService.check_reload` every
+  ``reload_interval`` seconds; reload failures are counted in the stats
+  and the previous model keeps serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ServingError
+from repro.serving.protocol import (
+    RequestError,
+    envelope_for_exception,
+    error_envelope,
+)
+from repro.serving.service import PolicyService
+
+#: Largest accepted request body (bytes); larger bodies get a 413 envelope.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Largest accepted request head (request line + headers, bytes).
+MAX_HEAD_BYTES = 64 * 1024
+
+_STATUS_REASON = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+}
+
+
+class ServingServer:
+    """One asyncio HTTP server wrapping a :class:`PolicyService`.
+
+    Routes::
+
+        GET  /healthz     liveness + served-model identity
+        GET  /stats       counters, latency/batch histograms
+        POST /v1/decide   single or batched coherence-mode decisions
+        POST /v1/whatif   bounded scenario evaluation
+        POST /v1/reload   force one hot-reload check now
+
+    Use as an async context manager (``async with ServingServer(...)``) or
+    call :meth:`start`/:meth:`close` explicitly.
+    """
+
+    def __init__(
+        self,
+        service: PolicyService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        reload_interval: float = 1.0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.reload_interval = float(reload_interval)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._reload_task: Optional[asyncio.Task] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._connections: set = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listening socket and start the reload loop."""
+        if self._server is not None:
+            raise ServingError("server is already running")
+        self._executor = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="repro-whatif"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.reload_interval > 0:
+            self._reload_task = asyncio.ensure_future(self._reload_loop())
+
+    async def close(self) -> None:
+        """Stop accepting, cancel the reload loop, drain the executor."""
+        if self._reload_task is not None:
+            self._reload_task.cancel()
+            try:
+                await self._reload_task
+            except asyncio.CancelledError:
+                pass
+            self._reload_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Idle keep-alive connections sit in a blocked read; cancel them so
+        # no handler task outlives the server (and trips the event loop's
+        # "task was destroyed" teardown noise).
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+            self._connections.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def __aenter__(self) -> "ServingServer":
+        """Start the server on entry."""
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        """Close the server on exit."""
+        await self.close()
+
+    @property
+    def started(self) -> bool:
+        """Whether the listening socket is currently bound."""
+        return self._server is not None
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound listening socket."""
+        return f"http://{self.host}:{self.port}"
+
+    async def _reload_loop(self) -> None:
+        """Poll for registry changes; failures keep the old model serving."""
+        while True:
+            await asyncio.sleep(self.reload_interval)
+            try:
+                self.service.check_reload()
+            except Exception:
+                # Already counted by check_reload (reload_errors); the
+                # previous snapshot keeps serving and the next tick retries.
+                continue
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve keep-alive requests on one connection until EOF."""
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except RequestError as exc:
+                    # Framing errors (bad request line, oversized body):
+                    # answer with the typed envelope, then drop the
+                    # connection — the stream position is unrecoverable.
+                    self.service.stats.record_error(exc.error_type)
+                    await self._write_response(
+                        writer,
+                        exc.status,
+                        error_envelope(exc.error_type, str(exc)),
+                        keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break
+                method, path, body, keep_alive = request
+                status, document = await self._dispatch(method, path, body)
+                await self._write_response(writer, status, document, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown cancelled this handler; close and swallow —
+            # re-raising out of the streams callback is logged as noise.
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes, bool]]:
+        """Parse one request; ``None`` on a clean EOF between requests."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            raise
+        except asyncio.LimitOverrunError as exc:
+            raise RequestError(
+                "payload-too-large", "request head exceeds the server limit"
+            ) from exc
+        if len(head) > MAX_HEAD_BYTES:
+            raise RequestError(
+                "payload-too-large", "request head exceeds the server limit"
+            )
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            raise RequestError("invalid-request", f"malformed request line {lines[0]!r}")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise RequestError(
+                "invalid-request", f"invalid Content-Length {length_text!r}"
+            ) from None
+        if length < 0:
+            raise RequestError("invalid-request", f"invalid Content-Length {length}")
+        if length > MAX_BODY_BYTES:
+            raise RequestError(
+                "payload-too-large",
+                f"request body of {length} bytes exceeds the server limit "
+                f"of {MAX_BODY_BYTES}",
+            )
+        body = await reader.readexactly(length) if length else b""
+        # Strip any query string: the protocol carries everything in JSON.
+        path = target.split("?", 1)[0]
+        return method.upper(), path, body, keep_alive
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, object]]:
+        """Route one request and map every failure to a typed envelope."""
+        start = time.perf_counter()
+        try:
+            status, document = await self._route(method, path, body)
+        except Exception as exc:  # noqa: BLE001 - boundary: everything becomes JSON
+            status, document = envelope_for_exception(exc)
+            error = document.get("error")
+            if isinstance(error, dict):
+                self.service.stats.record_error(str(error.get("type")))
+        self.service.stats.record_request(
+            f"{method} {path}", (time.perf_counter() - start) * 1000.0
+        )
+        return status, document
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, object]]:
+        """The route table proper (exceptions handled by ``_dispatch``)."""
+        if path == "/healthz":
+            self._require(method, "GET", path)
+            return 200, self.service.healthz()
+        if path == "/stats":
+            self._require(method, "GET", path)
+            return 200, self.service.stats_snapshot()
+        if path == "/v1/decide":
+            self._require(method, "POST", path)
+            return 200, self.service.decide(_parse_body(body))
+        if path == "/v1/whatif":
+            self._require(method, "POST", path)
+            document = _parse_body(body)
+            loop = asyncio.get_event_loop()
+            if self._executor is None:
+                raise ServingError("server is not running")
+            # The service captures its model snapshot inside whatif(), so
+            # a hot reload during the simulation cannot tear the response.
+            result = await loop.run_in_executor(
+                self._executor, self.service.whatif, document
+            )
+            return 200, result
+        if path == "/v1/reload":
+            self._require(method, "POST", path)
+            reloaded = self.service.check_reload()
+            model = self.service.model
+            return 200, {
+                "reloaded": reloaded,
+                "digest": model.digest,
+                "generation": model.generation,
+            }
+        raise RequestError("not-found", f"no route for {path!r}")
+
+    @staticmethod
+    def _require(method: str, expected: str, path: str) -> None:
+        """Reject a request whose method does not match the route."""
+        if method != expected:
+            raise RequestError(
+                "invalid-request", f"{path} expects {expected}, got {method}"
+            )
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        document: Dict[str, object],
+        keep_alive: bool,
+    ) -> None:
+        """Serialise one JSON response with standard framing headers."""
+        payload = json.dumps(document, sort_keys=True).encode("utf-8")
+        reason = _STATUS_REASON.get(status, "Error")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+
+def _parse_body(body: bytes) -> object:
+    """Decode a request body as one JSON document."""
+    if not body:
+        raise RequestError("invalid-request", "request body must be a JSON document")
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise RequestError(
+            "invalid-request", f"request body is not valid JSON: {exc}"
+        ) from exc
+
+
+async def serve_forever(server: ServingServer) -> None:
+    """Run ``server`` until cancelled (the CLI entry point's main loop).
+
+    Starts the server only if it is not already running — the CLI starts
+    it eagerly so the banner can print the resolved ephemeral port — and
+    closes it on the way out.
+    """
+    if not server.started:
+        await server.start()
+    try:
+        while True:
+            await asyncio.sleep(3600)
+    finally:
+        await server.close()
+
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "MAX_HEAD_BYTES",
+    "ServingServer",
+    "serve_forever",
+]

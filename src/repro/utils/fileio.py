@@ -1,12 +1,20 @@
 """Filesystem helpers shared across the persistence layers.
 
-Currently one primitive: the atomic text write used by both the sweep
-result cache and the trained-policy artifacts, so the write-commit
-discipline (and any future hardening of it) lives in exactly one place.
+Two primitives live here:
+
+* :func:`atomic_write_text` — the atomic text write used by the sweep
+  result cache, the trained-policy artifacts, and the model registry, so
+  the write-commit discipline (and any future hardening of it) lives in
+  exactly one place;
+* :func:`read_json_document` — the matching read side: one JSON document
+  read in a single call, so every store built on the atomic write reads
+  whole committed documents and maps the two possible failures (an
+  unreadable file, invalid JSON) to its own domain error.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 from typing import Union
@@ -32,3 +40,16 @@ def atomic_write_text(path: Union[str, Path], text: str) -> Path:
         tmp.unlink(missing_ok=True)
         raise
     return target
+
+
+def read_json_document(path: Union[str, Path]) -> object:
+    """Read ``path`` in one call and decode it as a single JSON document.
+
+    The read is one ``read_text`` of a file that writers commit with
+    :func:`atomic_write_text`, so the decoded document is always one
+    writer's complete output — old or new, never a torn mixture.  The two
+    failure modes propagate unchanged (:class:`OSError` for an unreadable
+    file, :class:`ValueError` for invalid JSON) so callers can map them to
+    their own domain errors with contextual messages.
+    """
+    return json.loads(Path(path).read_text())

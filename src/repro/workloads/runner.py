@@ -141,8 +141,16 @@ def run_phase(
     runtime: EspRuntime,
     phase: PhaseSpec,
     buffers: Optional[Dict[str, Buffer]] = None,
+    max_events: Optional[int] = None,
 ) -> PhaseResult:
-    """Run one phase to completion and return its measurements."""
+    """Run one phase to completion and return its measurements.
+
+    ``max_events`` bounds the phase's event budget (``None`` keeps the
+    engine's default); exhausting it raises
+    :class:`~repro.errors.SimulationError`, which is how bounded what-if
+    evaluations (:mod:`repro.serving`) keep a single request from running
+    an unbounded simulation.
+    """
     engine = soc.engine
     start_time = engine.now
     ddr_before = soc.monitors.total_ddr_accesses()
@@ -159,7 +167,10 @@ def run_phase(
             name=f"{phase.name}/{thread.thread_id}",
             generator=_thread_process(soc, runtime, thread, buffer, sink),
         )
-    engine.run()
+    if max_events is None:
+        engine.run()
+    else:
+        engine.run(max_events=max_events)
 
     return PhaseResult(
         name=phase.name,
@@ -174,6 +185,7 @@ def run_application(
     runtime: EspRuntime,
     application: ApplicationSpec,
     reset_soc: bool = True,
+    max_events: Optional[int] = None,
 ) -> ApplicationResult:
     """Run every phase of ``application`` and collect per-phase results.
 
@@ -181,7 +193,8 @@ def run_application(
     data allocations are cleared first, so repeated runs start from the same
     cold state; the coherence policy's learned state (e.g. Cohmeleon's
     Q-table) is *not* touched, which is what online training across
-    repeated application runs requires.
+    repeated application runs requires.  ``max_events`` bounds each phase's
+    event budget (see :func:`run_phase`).
     """
     if reset_soc:
         soc.reset_state(clear_allocations=True)
@@ -194,5 +207,7 @@ def run_application(
     )
     buffers: Dict[str, Buffer] = {}
     for phase in application.phases:
-        result.phases.append(run_phase(soc, runtime, phase, buffers))
+        result.phases.append(
+            run_phase(soc, runtime, phase, buffers, max_events=max_events)
+        )
     return result

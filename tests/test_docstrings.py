@@ -2,7 +2,8 @@
 
 CI's lint job runs ruff with the missing-docstring rules (D100-D104,
 D106) over ``repro/__init__.py``, ``repro.core``, ``repro.models``,
-``repro.scenarios``, ``repro.sim``, ``repro.soc``, and ``repro.perf``;
+``repro.scenarios``, ``repro.serving``, ``repro.sim``, ``repro.soc``, and
+``repro.perf``;
 this test applies the
 same policy with the standard library's ``ast`` so the check also runs in
 environments without ruff — every module, public class, and public
@@ -26,6 +27,7 @@ SCOPED_FILES: List[Path] = sorted(
     + list((SRC / "core").rglob("*.py"))
     + list((SRC / "models").rglob("*.py"))
     + list((SRC / "scenarios").rglob("*.py"))
+    + list((SRC / "serving").rglob("*.py"))
     + list((SRC / "sim").rglob("*.py"))
     + list((SRC / "soc").rglob("*.py"))
     + list((SRC / "perf").rglob("*.py"))
@@ -91,6 +93,7 @@ def test_scope_covers_expected_modules():
     assert any(name.startswith("core/") for name in names)
     assert any(name.startswith("models/") for name in names)
     assert any(name.startswith("scenarios/") for name in names)
+    assert any(name.startswith("serving/") for name in names)
     assert any(name.startswith("sim/") for name in names)
     assert any(name.startswith("soc/") for name in names)
     assert any(name.startswith("perf/") for name in names)

@@ -487,3 +487,29 @@ def test_models_cli_errors_exit_nonzero(tmp_path):
     assert models_cli(
         ["eval", "missing", "--models-dir", str(tmp_path)], stream=io.StringIO()
     ) == 2
+
+
+# ----------------------------------------------------------------------
+# Registry read-retry helper (serving hot-reload path)
+# ----------------------------------------------------------------------
+
+def test_load_retry_matches_load_on_the_happy_path(tmp_path):
+    registry = ModelRegistry(tmp_path)
+    registry.save(_toy_artifact("steady"))
+    direct = registry.load("steady")
+    retried = registry.load_retry("steady")
+    assert retried.digest == direct.digest
+    assert retried.name == "steady"
+
+
+def test_load_retry_still_raises_for_a_genuinely_missing_model(tmp_path):
+    registry = ModelRegistry(tmp_path)
+    with pytest.raises(ModelError, match="no model named"):
+        registry.load_retry("ghost", attempts=3, delay_s=0.001)
+
+
+def test_load_retry_enforces_the_expected_digest(tmp_path):
+    registry = ModelRegistry(tmp_path)
+    registry.save(_toy_artifact("steady"))
+    with pytest.raises(ModelError, match="digest"):
+        registry.load_retry("steady", expected_digest="0" * 64, attempts=2, delay_s=0.001)

@@ -34,6 +34,7 @@ class TestBenchmarks:
             "memory_access",
             "noc_routing",
             "qlearning_step",
+            "serving",
             "fig9_headline",
         }
 

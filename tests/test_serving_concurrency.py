@@ -1,0 +1,257 @@
+"""Concurrency proofs for the serving stack.
+
+Two properties anchor this module (they are the PR's acceptance
+criteria):
+
+* **Bit-identical under concurrency** — N >= 8 concurrent clients
+  hammering ``/v1/decide`` receive exactly the decisions an offline
+  :meth:`QTable.best_modes` evaluation of the same artifact produces,
+  for hypothesis-generated state streams and batch shapes.
+* **No torn models under hot reload** — while the registry artifact is
+  being atomically swapped between two maximally distinguishable tables
+  (every state's greedy mode differs), every response must be *entirely*
+  from one table: its decision vector matches that table's offline
+  evaluation and its digest is that table's digest.  A mixed response
+  (decisions from one table, digest from another — or decisions
+  straddling both) fails the test.
+
+Hypothesis drives the request interleavings; everything runs over the
+real asyncio HTTP transport on a loopback socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from serving_harness import make_artifact, make_registry, make_server, make_service
+
+from repro.core.state import NUM_STATES
+from repro.serving import ServingClient
+from repro.soc.coherence import CoherenceMode
+
+#: Concurrency floor the acceptance criteria demand.
+NUM_CLIENTS = 8
+
+
+# ----------------------------------------------------------------------
+# N concurrent clients == offline evaluation
+# ----------------------------------------------------------------------
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    streams=st.lists(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=NUM_STATES - 1),
+                min_size=1,
+                max_size=32,
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        min_size=NUM_CLIENTS,
+        max_size=NUM_CLIENTS,
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_concurrent_clients_match_offline_qtable(tmp_path_factory, streams, seed):
+    """Every concurrent client's decisions equal the offline evaluation."""
+    tmp_path = tmp_path_factory.mktemp("serving-conc")
+    artifact = make_artifact(seed=seed % 1000, updates=800)
+    registry = make_registry(tmp_path / "models", artifact)
+    qtable = artifact.build_policy().agent.qtable
+    expected = [
+        [[mode.label for mode in qtable.best_modes(batch)] for batch in stream]
+        for stream in streams
+    ]
+
+    async def _client(server, stream, sink):
+        async with ServingClient(server.host, server.port) as client:
+            for batch in stream:
+                status, document = await client.decide(batch)
+                assert status == 200
+                assert document["digest"] == artifact.digest
+                sink.append(document["decisions"])
+
+    async def _run():
+        service = make_service(registry)
+        async with make_server(service) as server:
+            sinks = [[] for _ in streams]
+            await asyncio.gather(
+                *(
+                    _client(server, stream, sink)
+                    for stream, sink in zip(streams, sinks)
+                )
+            )
+            return sinks
+
+    assert asyncio.run(_run()) == expected
+
+
+# ----------------------------------------------------------------------
+# Hot reload under load never serves a torn model
+# ----------------------------------------------------------------------
+def _biased_expectations():
+    """Two artifacts whose greedy decisions differ in every state."""
+    table_a = make_artifact(name="served", bias_mode=CoherenceMode.NON_COH_DMA)
+    table_b = make_artifact(name="served", bias_mode=CoherenceMode.FULL_COH)
+    assert table_a.digest != table_b.digest
+    expectations = {
+        table_a.digest: "non-coh-dma",
+        table_b.digest: "full-coh",
+    }
+    return table_a, table_b, expectations
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    batches=st.lists(
+        st.lists(
+            st.integers(min_value=0, max_value=NUM_STATES - 1),
+            min_size=1,
+            max_size=16,
+        ),
+        min_size=3,
+        max_size=8,
+    ),
+    flips=st.integers(min_value=2, max_value=5),
+)
+def test_hot_reload_under_load_never_tears(tmp_path_factory, batches, flips):
+    """Every response is wholly from one table: digest and decisions agree.
+
+    A writer task atomically flips the registry artifact between the two
+    biased tables while reload checks and decision requests interleave on
+    the server; each client response must satisfy
+    ``decisions == [expectations[digest]] * len(batch)`` — the definition
+    of "old or new, never a mix".
+    """
+    tmp_path = tmp_path_factory.mktemp("serving-reload")
+    table_a, table_b, expectations = _biased_expectations()
+    registry = make_registry(tmp_path / "models", table_a)
+    generations = []
+
+    async def _writer(server):
+        # Flip the artifact and force reload checks, interleaving with
+        # the clients below on the same event loop.
+        tables = [table_b, table_a]
+        async with ServingClient(server.host, server.port) as control:
+            for flip in range(flips):
+                registry.save(tables[flip % 2], replace=True)
+                await asyncio.sleep(0)
+                status, document = await control.post("/v1/reload", {})
+                assert status == 200
+                generations.append(document["generation"])
+                await asyncio.sleep(0)
+
+    async def _reader(server, index):
+        async with ServingClient(server.host, server.port) as client:
+            for batch in batches:
+                status, document = await client.decide(batch)
+                assert status == 200
+                digest = document["digest"]
+                assert digest in expectations, f"unknown digest {digest!r}"
+                expected_label = expectations[digest]
+                assert document["decisions"] == [expected_label] * len(batch), (
+                    "torn response: digest says "
+                    f"{expected_label!r} but decisions were "
+                    f"{document['decisions']!r}"
+                )
+                await asyncio.sleep(0)
+
+    async def _run():
+        service = make_service(registry)
+        async with make_server(service) as server:
+            await asyncio.gather(
+                _writer(server),
+                *(_reader(server, index) for index in range(NUM_CLIENTS)),
+            )
+
+    asyncio.run(_run())
+    # Generations only ever move forward, one per observed digest change.
+    assert generations == sorted(generations)
+
+
+def test_reload_during_slow_whatif_does_not_tear_the_response(tmp_path):
+    """A what-if captures its model before a reload lands mid-simulation.
+
+    The response's ``pretrained_digest`` must be the digest of the model
+    that was current when the request *started*, even though the served
+    model changed while the simulation ran on the executor thread.
+    """
+    table_a, table_b, expectations = _biased_expectations()
+    registry = make_registry(tmp_path / "models", table_a)
+
+    async def _run():
+        service = make_service(registry, whatif_max_events=2_000_000)
+        async with make_server(service) as server:
+            async with ServingClient(server.host, server.port) as client:
+                whatif = asyncio.ensure_future(
+                    client.post("/v1/whatif", {"scenario": "quickstart"})
+                )
+                # Let the what-if dispatch to the executor, then swap.
+                await asyncio.sleep(0.01)
+                registry.save(table_b, replace=True)
+                async with ServingClient(server.host, server.port) as control:
+                    status, document = await control.post("/v1/reload", {})
+                    assert status == 200
+                status, document = await whatif
+                assert status == 200
+                # Captured-before-dispatch snapshot, not the new model.
+                assert document["pretrained_digest"] == table_a.digest
+                # New decision requests already see the new model.
+                status, decided = await client.post("/v1/decide", {"state": 0})
+                assert decided["digest"] == table_b.digest
+
+    asyncio.run(_run())
+
+
+# ----------------------------------------------------------------------
+# Registry write race (satellite regression test)
+# ----------------------------------------------------------------------
+def test_load_retry_survives_continuous_atomic_rewrites(tmp_path):
+    """A reader loop never fails while a writer thread swaps the artifact.
+
+    The writer alternates two valid artifacts through the atomic
+    write-commit path as fast as it can; a concurrent reader calling
+    :meth:`ModelRegistry.load_retry` must always get one of the two
+    digests and never raise — the old-or-new-never-torn registry
+    contract.
+    """
+    table_a, table_b, _ = _biased_expectations()
+    registry = make_registry(tmp_path / "models", table_a)
+    digests = {table_a.digest, table_b.digest}
+    stop = threading.Event()
+    writer_error = []
+
+    def _writer():
+        tables = [table_a, table_b]
+        index = 0
+        try:
+            while not stop.is_set():
+                registry.save(tables[index % 2], replace=True)
+                index += 1
+        except Exception as exc:  # pragma: no cover - diagnostic path
+            writer_error.append(exc)
+
+    thread = threading.Thread(target=_writer, daemon=True)
+    thread.start()
+    try:
+        deadline = time.monotonic() + 2.0
+        reads = 0
+        while time.monotonic() < deadline:
+            artifact = registry.load_retry("served")
+            assert artifact.digest in digests
+            reads += 1
+    finally:
+        stop.set()
+        thread.join(timeout=10)
+    assert not writer_error, f"writer failed: {writer_error[0]}"
+    assert reads > 50  # the loop really raced the writer

@@ -1,0 +1,98 @@
+"""Slow lane: serving load test, SLO gate, and soak.
+
+These run the deterministic load generator of
+:mod:`repro.serving.loadtest` against a live loopback server and hold the
+measurements to the SLO block committed in
+``benchmarks/results/BENCH_serving.json`` — the same gate the CI serving
+job enforces through ``python -m repro.serving loadtest --slo``.  The
+soak test additionally cross-checks the load report against the server's
+own ``/stats`` accounting after thousands of requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+
+import pytest
+
+from serving_harness import make_registry, make_server, make_service
+
+from repro.serving.loadtest import check_slo, run_load_async, slo_for_scale
+from repro.serving import ServingClient
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BASELINE = REPO_ROOT / "benchmarks" / "results" / "BENCH_serving.json"
+
+
+def _run_load(tmp_path, clients, requests, batch, **service_kwargs):
+    registry = make_registry(tmp_path / "models")
+    service = make_service(registry, **service_kwargs)
+
+    async def _run():
+        async with make_server(service) as server:
+            report = await run_load_async(
+                server.host, server.port, clients=clients, requests=requests, batch=batch
+            )
+            async with ServingClient(server.host, server.port) as client:
+                _, stats = await client.get("/stats")
+            return report, stats, service
+
+    report, stats, service = asyncio.run(_run())
+    return report, stats, service
+
+
+@pytest.mark.slow
+class TestSloGate:
+    """The committed SLO block holds at quick scale."""
+
+    def test_quick_scale_load_meets_the_committed_slo(self, tmp_path):
+        baseline = json.loads(BASELINE.read_text())
+        slo = slo_for_scale(baseline, "quick")
+        report, _, _ = _run_load(tmp_path, clients=8, requests=50, batch=64)
+        violations = check_slo(report, slo)
+        assert violations == [], "\n".join(violations)
+        assert report.decisions == 8 * 50 * 64
+        assert report.error_count == 0
+        assert len(report.digests) == 1
+
+    def test_committed_baselines_carry_both_slo_scales(self):
+        for name in ("BENCH_serving.json", "BENCH_serving_quick.json"):
+            baseline = json.loads((BASELINE.parent / name).read_text())
+            for scale in ("quick", "default"):
+                slo = slo_for_scale(baseline, scale)
+                assert "p99_ms_max" in slo
+                assert "decisions_per_s_min" in slo
+
+    def test_slo_violations_are_detected(self, tmp_path):
+        report, _, _ = _run_load(tmp_path, clients=2, requests=5, batch=8)
+        impossible = {"p99_ms_max": 0.0, "decisions_per_s_min": 10**12}
+        violations = check_slo(report, impossible)
+        assert len(violations) == 2
+        with pytest.raises(Exception):
+            check_slo(report, {"p99_typo": 1})
+
+
+@pytest.mark.slow
+class TestSoak:
+    """Sustained concurrent load: zero errors, consistent accounting."""
+
+    def test_soak_is_error_free_and_stats_agree(self, tmp_path):
+        clients, requests, batch = 8, 300, 32
+        report, stats, service = _run_load(
+            tmp_path, clients=clients, requests=requests, batch=batch
+        )
+        assert report.error_count == 0
+        assert report.decisions == clients * requests * batch
+        assert len(report.digests) == 1
+        # The server's own accounting matches what the clients saw.
+        assert stats["decisions_served"] == report.decisions
+        assert stats["requests"]["POST /v1/decide"] == clients * requests
+        assert stats["errors"] == {}
+        assert stats["reload_errors"] == 0
+        assert stats["latency"]["count"] >= clients * requests
+        histogram_total = sum(
+            bucket["count"] for bucket in stats["batch_sizes"]["buckets"]
+        )
+        assert histogram_total == clients * requests
