@@ -6,7 +6,13 @@ The subsystem has five layers plus a CLI:
   :class:`Job` grids with stable fingerprints and per-job RNG derivation;
 * :mod:`repro.experiments.sweep.backends` — pluggable
   :class:`ExecutionBackend` implementations (serial, process pool, thread
-  pool) behind one incremental-completion contract;
+  pool, batched dispatch) behind one incremental-completion contract;
+* :mod:`repro.experiments.sweep.distributed` — the coordinator/worker
+  execution layer (:class:`DistributedBackend`) serving work leases over
+  HTTP to pull workers on other hosts;
+* :mod:`repro.experiments.sweep.config` — :class:`RunConfig`, the one
+  frozen description of how a sweep executes, shared by the
+  programmatic API and every CLI front end;
 * :mod:`repro.experiments.sweep.pool` — :class:`SweepRunner`, which
   orchestrates cache, manifest, shard, and backend for each spec;
 * :mod:`repro.experiments.sweep.cache` — :class:`ResultCache`, an on-disk
@@ -22,10 +28,13 @@ The subsystem has five layers plus a CLI:
 from repro.experiments.sweep.backends import (
     BACKEND_NAMES,
     BACKENDS,
+    BatchBackend,
     ExecutionBackend,
     create_backend,
 )
 from repro.experiments.sweep.cache import ResultCache
+from repro.experiments.sweep.config import RunConfig, add_runner_arguments
+from repro.experiments.sweep.distributed import DistributedBackend, run_worker
 from repro.experiments.sweep.manifest import SweepManifest, grid_digest, payload_digest
 from repro.experiments.sweep.merge import MergeReport, discover_shard_manifests, merge_shards
 from repro.experiments.sweep.pool import (
@@ -34,27 +43,36 @@ from repro.experiments.sweep.pool import (
     autodetect_workers,
     run_spec,
 )
-from repro.experiments.sweep.shard import ShardIncompleteError, ShardSpec
+from repro.experiments.sweep.shard import (
+    ShardIncompleteError,
+    ShardSpec,
+    lease_partition,
+)
 from repro.experiments.sweep.sweep import Job, SweepSpec, canonicalize
 
 __all__ = [
     "BACKENDS",
     "BACKEND_NAMES",
+    "BatchBackend",
+    "DistributedBackend",
     "ExecutionBackend",
     "Job",
     "MergeReport",
     "ResultCache",
+    "RunConfig",
     "ShardIncompleteError",
     "ShardSpec",
     "SweepManifest",
     "SweepResult",
     "SweepRunner",
     "SweepSpec",
+    "add_runner_arguments",
     "autodetect_workers",
     "canonicalize",
     "create_backend",
     "discover_shard_manifests",
     "grid_digest",
+    "lease_partition",
     "merge_shards",
     "payload_digest",
     "run_spec",

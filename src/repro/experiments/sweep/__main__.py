@@ -1,0 +1,15 @@
+"""``python -m repro.experiments.sweep`` — the sweep CLI under its own name.
+
+Identical to ``python -m repro.experiments``; this alias exists so the
+distributed subcommands read naturally on worker hosts::
+
+    python -m repro.experiments.sweep worker --coordinator http://host:8733
+    python -m repro.experiments.sweep coordinate socs --port 8733
+"""
+
+import sys
+
+from repro.experiments.sweep.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

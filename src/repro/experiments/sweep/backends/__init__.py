@@ -8,7 +8,14 @@ implementations:
 ``serial``  one job after another in the calling process (reference)
 ``process`` a ``multiprocessing`` pool with a warned serial fallback
 ``thread``  a ``concurrent.futures`` thread pool
+``batch``   the process pool, dispatching job *groups* per round-trip
 ========== =========================================================
+
+The distributed coordinator backend
+(:class:`~repro.experiments.sweep.distributed.DistributedBackend`) also
+implements the protocol but is not name-registered — it needs host/port
+configuration, so it is constructed explicitly (or via the
+``coordinate`` subcommand) and passed as an instance.
 
 All backends satisfy the same contract — every pending job executed
 exactly once, completions reported incrementally on the calling thread —
@@ -18,10 +25,11 @@ jobs (fingerprint-derived RNG streams), not in the executor.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple, Type, Union
+from typing import Dict, Optional, Tuple, Type, Union
 
 from repro.errors import SweepError
 from repro.experiments.sweep.backends.base import ExecutionBackend, ResultCallback
+from repro.experiments.sweep.backends.batch import BatchBackend
 from repro.experiments.sweep.backends.process import ProcessPoolBackend
 from repro.experiments.sweep.backends.serial import SerialBackend
 from repro.experiments.sweep.backends.thread import ThreadPoolBackend
@@ -29,35 +37,45 @@ from repro.experiments.sweep.backends.thread import ThreadPoolBackend
 #: Registered backend classes, keyed by their stable names.
 BACKENDS: Dict[str, Type[ExecutionBackend]] = {
     backend.name: backend
-    for backend in (SerialBackend, ProcessPoolBackend, ThreadPoolBackend)
+    for backend in (SerialBackend, ProcessPoolBackend, ThreadPoolBackend, BatchBackend)
 }
 
 #: Backend names in stable (sorted) order, for CLI choices and docs.
 BACKEND_NAMES: Tuple[str, ...] = tuple(sorted(BACKENDS))
 
 
-def create_backend(spec: Union[str, ExecutionBackend, None], workers: int) -> ExecutionBackend:
+def create_backend(
+    spec: Union[str, ExecutionBackend, None],
+    workers: int,
+    jobs_per_lease: Optional[int] = None,
+) -> ExecutionBackend:
     """Resolve a backend argument to an instance.
 
     ``None`` selects the default policy: the process pool when more than
     one worker is requested, otherwise serial.  A string is looked up in
     the registry; an :class:`ExecutionBackend` instance passes through.
+    ``jobs_per_lease`` configures lease granularity for backends that
+    batch dispatch (currently ``batch``); others ignore it.
     """
     if isinstance(spec, ExecutionBackend):
         return spec
     if spec is None:
         return ProcessPoolBackend() if workers > 1 else SerialBackend()
     try:
-        return BACKENDS[spec]()
+        cls = BACKENDS[spec]
     except KeyError:
         raise SweepError(
             f"unknown execution backend {spec!r}; choose from {', '.join(BACKEND_NAMES)}"
         ) from None
+    if cls is BatchBackend:
+        return BatchBackend(jobs_per_lease=jobs_per_lease)
+    return cls()
 
 
 __all__ = [
     "BACKENDS",
     "BACKEND_NAMES",
+    "BatchBackend",
     "ExecutionBackend",
     "ProcessPoolBackend",
     "ResultCallback",

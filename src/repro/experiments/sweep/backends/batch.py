@@ -1,0 +1,106 @@
+"""Batched multiprocessing dispatch: job *groups* per worker round-trip.
+
+The plain process backend pays one pickle/unpickle/IPC round-trip per
+job, which dominates wall clock on grids of many short jobs — the
+committed scaling benchmark recorded a 0.96x "speedup" at 2 workers for
+exactly this reason.  :class:`BatchBackend` fixes the dispatch economics
+without touching the determinism contract:
+
+* jobs are grouped into leases by
+  :func:`~repro.experiments.sweep.shard.lease_partition` — the same
+  deterministic fingerprint-hash assignment shards use, so the grouping
+  never depends on grid order or machine;
+* each pool task executes one whole group and returns its results as one
+  vector of ``(key, payload)`` pairs, so pickling overhead (including
+  parameter objects shared across a group, which the pickler memoizes
+  once per lease instead of once per job) and pool round-trips are paid
+  per *lease*, not per job;
+* completions are still reported incrementally on the calling thread —
+  one lease at a time — so the runner's cache/manifest checkpointing
+  contract is unchanged, and payloads stay bit-identical to serial
+  execution because job randomness derives from job fingerprints.
+
+``jobs_per_lease`` trades checkpoint granularity against dispatch
+overhead; the default aims at a few leases per worker so the pool stays
+load-balanced while round-trips are amortized.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import warnings
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import SweepError
+from repro.experiments.sweep.backends.base import ExecutionBackend, ResultCallback
+from repro.experiments.sweep.backends.serial import SerialBackend, execute_job
+from repro.experiments.sweep.shard import lease_partition
+from repro.experiments.sweep.sweep import Job
+
+#: Default leases handed to each worker over a run's lifetime; a few per
+#: worker keeps the pool load-balanced even when job costs are skewed.
+LEASES_PER_WORKER = 4
+
+
+def _execute_batch(jobs: Sequence[Job]) -> List[Tuple[str, dict]]:
+    """Worker entry point: run one lease, return its ``(key, payload)`` vector."""
+    return [(job.key, execute_job(job)) for job in jobs]
+
+
+def default_jobs_per_lease(job_count: int, workers: int) -> int:
+    """Lease size giving ~:data:`LEASES_PER_WORKER` leases per worker."""
+    return max(1, -(-job_count // (max(1, workers) * LEASES_PER_WORKER)))
+
+
+class BatchBackend(ExecutionBackend):
+    """Fans job *groups* out over a ``multiprocessing`` pool.
+
+    Identical contract to the process backend — every pending job
+    executed exactly once, incremental completions on the calling
+    thread, warned serial fallback when no pool can be created — but
+    dispatch and result collection are vectorized per lease.
+    """
+
+    name = "batch"
+
+    def __init__(self, jobs_per_lease: Optional[int] = None) -> None:
+        if jobs_per_lease is not None and jobs_per_lease < 1:
+            raise SweepError(
+                f"jobs_per_lease must be >= 1, got {jobs_per_lease}"
+            )
+        self.jobs_per_lease = jobs_per_lease
+
+    def run(
+        self,
+        jobs: Sequence[Job],
+        workers: int,
+        on_result: ResultCallback,
+    ) -> int:
+        """Execute ``jobs`` in leases, falling back to serial without a pool."""
+        if workers <= 1:
+            return SerialBackend().run(jobs, 1, on_result)
+        per_lease = (
+            self.jobs_per_lease
+            if self.jobs_per_lease is not None
+            else default_jobs_per_lease(len(jobs), workers)
+        )
+        groups = lease_partition(jobs, per_lease)
+        try:
+            pool = multiprocessing.get_context().Pool(processes=workers)
+        except Exception as exc:  # daemonic nesting, missing sem_open, ...
+            warnings.warn(
+                f"sweep: cannot create a {workers}-worker pool ({exc}); "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return SerialBackend().run(jobs, 1, on_result)
+        by_key = {job.key: job for job in jobs}
+        try:
+            with pool:
+                for results in pool.imap_unordered(_execute_batch, groups):
+                    for key, payload in results:
+                        on_result(by_key[key], payload)
+        finally:
+            pool.join()
+        return workers

@@ -10,6 +10,9 @@ Examples
     python -m repro.experiments socs --shard 2/3          # one slice of the grid
     python -m repro.experiments merge-shards --cache-dir .sweep-cache
     python -m repro.experiments socs --resume             # continue a killed run
+    python -m repro.experiments socs --backend batch --jobs-per-lease 8
+    python -m repro.experiments coordinate socs --port 8733
+    python -m repro.experiments.sweep worker --coordinator http://host:8733
 
 Every figure runs at a reduced ("quick") scale by default so a laptop run
 finishes in minutes; ``--full`` switches to the paper-scale grids.  Results
@@ -20,6 +23,11 @@ Cached runs also checkpoint a per-sweep manifest (under
 ``<cache-dir>/manifests`` unless ``--manifest-dir`` overrides it), which is
 what ``--resume``, ``--shard i/N``, and ``merge-shards`` build on — see
 ``docs/execution.md`` for the full contract.
+
+Two subcommands span machines: ``coordinate`` runs a figure with the
+jobs served as HTTP leases instead of executed locally, and ``worker``
+pulls and executes leases from a coordinator — see the "Distributed
+execution" section of ``docs/execution.md``.
 """
 
 from __future__ import annotations
@@ -32,15 +40,15 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, TextIO
 
 from repro.errors import SweepError
-from repro.experiments.sweep.backends import BACKEND_NAMES
 from repro.experiments.sweep.cache import ResultCache
+from repro.experiments.sweep.config import RunConfig, add_runner_arguments
 from repro.experiments.sweep.merge import (
     discover_shard_manifests,
     fused_results,
     merge_shards,
 )
-from repro.experiments.sweep.pool import SweepRunner, autodetect_workers
-from repro.experiments.sweep.shard import ShardIncompleteError, ShardSpec
+from repro.experiments.sweep.pool import SweepRunner
+from repro.experiments.sweep.shard import ShardIncompleteError
 
 #: Figure name -> (description, runner function).  Each runner function
 #: takes the parsed arguments plus a SweepRunner and returns a report string.
@@ -181,8 +189,8 @@ FIGURES: Dict[str, FigureRunner] = {
 class _StatsRunner(SweepRunner):
     """A SweepRunner that accumulates per-spec execution statistics."""
 
-    def __init__(self, **kwargs) -> None:
-        super().__init__(**kwargs)
+    def __init__(self, config: RunConfig) -> None:
+        super().__init__(config=config)
         self.total_jobs = 0
         self.total_hits = 0
         self.total_executed = 0
@@ -201,45 +209,9 @@ class _StatsRunner(SweepRunner):
         return result
 
 
-def _positive_int(text: str) -> int:
-    value = int(text)
-    if value < 1:
-        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
-    return value
-
-
-def _shard_arg(text: str) -> ShardSpec:
-    """Parse ``--shard I/N``, mapping SweepError onto a clean usage error."""
-    try:
-        return ShardSpec.parse(text)
-    except SweepError as exc:
-        raise argparse.ArgumentTypeError(str(exc)) from None
-
-
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments",
-        description="Run a figure harness through the parallel sweep runner.",
-    )
+def _add_figure_arguments(parser: argparse.ArgumentParser) -> None:
+    """The figure selection and scale flags shared by run and coordinate."""
     parser.add_argument("figure", choices=sorted(FIGURES), help="figure to regenerate")
-    parser.add_argument(
-        "--workers",
-        type=_positive_int,
-        default=None,
-        metavar="N",
-        help="worker processes (default: one per CPU; 1 = serial)",
-    )
-    parser.add_argument(
-        "--cache-dir",
-        default=".sweep-cache",
-        metavar="DIR",
-        help="on-disk result cache location (default: %(default)s)",
-    )
-    parser.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="disable the result cache entirely",
-    )
     parser.add_argument(
         "--seed", type=int, default=None, help="override the figure's default seed"
     )
@@ -248,31 +220,78 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the paper-scale grid instead of the reduced quick grid",
     )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run a figure harness through the parallel sweep runner.",
+    )
+    _add_figure_arguments(parser)
+    add_runner_arguments(parser)
+    return parser
+
+
+def build_coordinate_parser() -> argparse.ArgumentParser:
+    """Parser of the ``coordinate`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments coordinate",
+        description="Run a figure with its sweep jobs served as HTTP leases "
+        "to remote pull workers instead of executed locally.",
+    )
+    _add_figure_arguments(parser)
+    add_runner_arguments(parser)
     parser.add_argument(
-        "--backend",
-        choices=("auto",) + BACKEND_NAMES,
-        default="auto",
-        help="execution backend (default: process pool when workers > 1)",
+        "--host",
+        default="127.0.0.1",
+        help="bind address of the lease server (default: %(default)s)",
     )
     parser.add_argument(
-        "--manifest-dir",
-        default=None,
-        metavar="DIR",
-        help="sweep manifest location (default: <cache-dir>/manifests)",
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (default: an ephemeral port, printed at startup)",
     )
     parser.add_argument(
-        "--resume",
-        action="store_true",
-        help="skip jobs an existing manifest records complete "
-        "(digest-verified against the cache)",
+        "--lease-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="seconds a worker may hold a lease before it is reissued "
+        "(default: %(default)s)",
+    )
+    return parser
+
+
+def build_worker_parser() -> argparse.ArgumentParser:
+    """Parser of the ``worker`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.sweep worker",
+        description="Pull and execute sweep leases from a coordinator; "
+        "exits cleanly when the coordinator closes.",
     )
     parser.add_argument(
-        "--shard",
-        type=_shard_arg,
-        default=None,
-        metavar="I/N",
-        help="execute only shard I of N (fingerprint-hash partition); "
-        "fuse shards afterwards with the merge-shards subcommand",
+        "--coordinator",
+        required=True,
+        metavar="URL",
+        help="coordinator base URL, e.g. http://127.0.0.1:8733",
+    )
+    # The worker is diskless by design: no cache/manifest/shard flags.
+    add_runner_arguments(parser, cache=False, manifest=False, shard=False, lease=False)
+    parser.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="idle polling interval (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--grace",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long to retry before the first successful contact "
+        "(default: %(default)s)",
     )
     return parser
 
@@ -381,30 +400,83 @@ def _main_merge(argv: List[str], out: TextIO) -> int:
     return 0
 
 
+def _main_worker(argv: List[str], out: TextIO) -> int:
+    """Entry point of the ``worker`` subcommand."""
+    from repro.experiments.sweep.distributed import run_worker
+
+    args = build_worker_parser().parse_args(argv)
+    return run_worker(
+        args.coordinator,
+        backend=args.backend,
+        workers=args.workers if args.workers is not None else 1,
+        poll=args.poll,
+        grace=args.grace,
+        out=out,
+    )
+
+
+def _main_coordinate(argv: List[str], out: TextIO) -> int:
+    """Entry point of the ``coordinate`` subcommand."""
+    from repro.experiments.sweep.distributed import DistributedBackend
+
+    args = build_coordinate_parser().parse_args(argv)
+    if args.backend != "auto":
+        print(
+            "error: coordinate always uses the distributed backend; "
+            "workers choose their own --backend",
+            file=out,
+        )
+        return 2
+    try:
+        config = RunConfig.from_args(args)
+    except SweepError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    backend = DistributedBackend(
+        host=args.host,
+        port=args.port,
+        jobs_per_lease=config.jobs_per_lease,
+        lease_timeout=args.lease_timeout,
+    )
+    try:
+        backend.start()
+    except SweepError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    print(
+        f"[coordinate] figure={args.figure} serving leases at {backend.url} "
+        f"(lease_timeout={args.lease_timeout:.0f}s, "
+        f"jobs_per_lease={config.jobs_per_lease or 1})",
+        file=out,
+    )
+    try:
+        return _run_figure(args, config.with_backend(backend), out)
+    finally:
+        backend.close()
+
+
 def main(argv: Optional[List[str]] = None, stream: Optional[TextIO] = None) -> int:
     """CLI entry point; returns a process exit code."""
     out = stream if stream is not None else sys.stdout
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "merge-shards":
         return _main_merge(argv[1:], out)
+    if argv and argv[0] == "worker":
+        return _main_worker(argv[1:], out)
+    if argv and argv[0] == "coordinate":
+        return _main_coordinate(argv[1:], out)
     args = build_parser().parse_args(argv)
-
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    if cache is None and (args.resume or args.shard is not None):
-        print(
-            "error: --resume and --shard need the result cache; drop --no-cache",
-            file=out,
-        )
+    try:
+        config = RunConfig.from_args(args)
+    except SweepError as exc:
+        print(f"error: {exc}", file=out)
         return 2
-    workers = args.workers if args.workers is not None else autodetect_workers()
-    runner = _StatsRunner(
-        workers=workers,
-        cache=cache,
-        backend=None if args.backend == "auto" else args.backend,
-        manifest_dir=None if cache is None else _manifest_dir(args),
-        resume=args.resume,
-        shard=args.shard,
-    )
+    return _run_figure(args, config, out)
+
+
+def _run_figure(args: argparse.Namespace, config: RunConfig, out: TextIO) -> int:
+    """Run one figure harness through ``config`` and print the summary."""
+    runner = _StatsRunner(config)
 
     started = time.perf_counter()
     sharded_out = None
@@ -414,7 +486,7 @@ def main(argv: Optional[List[str]] = None, stream: Optional[TextIO] = None) -> i
         # Expected for a sharded run: the harness stopped at the first
         # payload another shard owns.  The executed slice is checkpointed
         # in the cache and manifest; merge-shards fuses the full grid.
-        if args.shard is None:
+        if config.shard is None:
             raise
         report = None
         sharded_out = str(exc)
@@ -424,19 +496,19 @@ def main(argv: Optional[List[str]] = None, stream: Optional[TextIO] = None) -> i
         print(report, file=out)
     else:
         print(
-            f"[sweep] shard {args.shard.label} of figure {args.figure} "
+            f"[sweep] shard {config.shard.label} of figure {args.figure} "
             "complete; no figure report without the other shards "
             f"({sharded_out})",
             file=out,
         )
-    cache_note = "disabled" if cache is None else str(cache.cache_dir)
+    cache_note = "disabled" if config.cache is None else str(config.cache.cache_dir)
     # workers_used can fall short of the request after a serial fallback
     # (no pool support) or when every job was served from the cache.
     print(
         f"\n[sweep] figure={args.figure} jobs={runner.total_jobs} "
         f"executed={runner.total_executed} cache_hits={runner.total_hits} "
         f"resumed={runner.total_resumed} missing={runner.total_missing} "
-        f"workers={workers} workers_used={runner.max_workers_used} "
+        f"workers={config.workers} workers_used={runner.max_workers_used} "
         f"cache={cache_note} elapsed={elapsed:.1f}s",
         file=out,
     )

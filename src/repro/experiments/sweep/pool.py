@@ -2,8 +2,11 @@
 
 :class:`SweepRunner` executes a :class:`~repro.experiments.sweep.sweep.SweepSpec`
 through a pluggable :class:`~repro.experiments.sweep.backends.ExecutionBackend`
-(serial, process pool, or thread pool — see
-:mod:`repro.experiments.sweep.backends`).  Because every job derives its
+(serial, process pool, thread pool, batched dispatch, or the distributed
+coordinator — see :mod:`repro.experiments.sweep.backends` and
+:mod:`repro.experiments.sweep.distributed`), configured by one frozen
+:class:`~repro.experiments.sweep.config.RunConfig`.  Because every job
+derives its
 randomness from its own fingerprint, results are bit-identical regardless
 of backend, worker count, or completion order; the runner re-orders
 payloads into grid order before returning them.
@@ -35,14 +38,14 @@ from warnings import warn
 from repro.errors import SweepError
 from repro.experiments.sweep.backends import ExecutionBackend, create_backend
 from repro.experiments.sweep.cache import ResultCache
+from repro.experiments.sweep.config import RunConfig, autodetect_workers
 from repro.experiments.sweep.manifest import SweepManifest, payload_digest
 from repro.experiments.sweep.shard import ShardIncompleteError, ShardSpec
 from repro.experiments.sweep.sweep import Job, SweepSpec
 
-
-def autodetect_workers() -> int:
-    """Number of workers to use when none is specified: one per CPU."""
-    return max(1, os.cpu_count() or 1)
+#: Sentinel distinguishing "not passed" from every legal kwarg value in
+#: the deprecated keyword form of :class:`SweepRunner`.
+_UNSET = object()
 
 
 @dataclass
@@ -101,59 +104,108 @@ def run_spec(spec: SweepSpec, runner: Optional["SweepRunner"] = None) -> SweepRe
     no cache or manifest, which is also safe inside sweep workers (no
     nested pools).
     """
-    return (runner if runner is not None else SweepRunner(workers=1)).run(spec)
+    return (runner if runner is not None else SweepRunner(config=RunConfig())).run(spec)
 
 
 class SweepRunner:
     """Executes sweep specs through a backend, a cache, and a manifest.
 
-    Parameters
-    ----------
-    workers:
-        Requested parallelism; ``None`` autodetects one worker per CPU,
-        ``1`` runs serially.
-    cache:
-        Optional :class:`ResultCache`; payloads are looked up before
-        execution and written as each job completes.
-    backend:
-        ``None`` (process pool when ``workers > 1``, else serial), a
-        registered backend name (``"serial"``/``"process"``/``"thread"``),
-        or an :class:`ExecutionBackend` instance.
-    manifest_dir:
-        Directory for per-sweep checkpoint manifests; ``None`` disables
-        manifests (and therefore ``resume``).
-    resume:
-        Reload an existing manifest and skip its completed jobs after
-        digest-verifying their cached payloads.  Requires ``cache`` and
-        ``manifest_dir``.
-    shard:
-        Execute only the grid slice this :class:`ShardSpec` owns.
+    The runner is configured by one frozen :class:`RunConfig`::
+
+        SweepRunner(config=RunConfig(workers=4, cache=cache, resume=True,
+                                     manifest_dir=manifest_dir))
+
+    See :class:`~repro.experiments.sweep.config.RunConfig` for the
+    meaning of each field.  The pre-``RunConfig`` keyword form
+    (``SweepRunner(workers=, cache=, backend=, manifest_dir=, resume=,
+    shard=, jobs_per_lease=)``) is still accepted but deprecated: the
+    keywords are adapted into a ``RunConfig`` and a
+    :class:`DeprecationWarning` is emitted.  Mixing ``config=`` with
+    legacy keywords is an error.  The configuration remains readable
+    through the ``workers``/``cache``/``backend``/``manifest_dir``/
+    ``resume``/``shard``/``jobs_per_lease`` properties.
     """
 
     def __init__(
         self,
-        workers: Optional[int] = 1,
-        cache: Optional[ResultCache] = None,
-        backend: Union[str, ExecutionBackend, None] = None,
-        manifest_dir: Union[str, os.PathLike, None] = None,
-        resume: bool = False,
-        shard: Optional[ShardSpec] = None,
+        config: Optional[RunConfig] = None,
+        workers: Optional[int] = _UNSET,  # type: ignore[assignment]
+        cache: Optional[ResultCache] = _UNSET,  # type: ignore[assignment]
+        backend: Union[str, ExecutionBackend, None] = _UNSET,  # type: ignore[assignment]
+        manifest_dir: Union[str, os.PathLike, None] = _UNSET,  # type: ignore[assignment]
+        resume: bool = _UNSET,  # type: ignore[assignment]
+        shard: Optional[ShardSpec] = _UNSET,  # type: ignore[assignment]
+        jobs_per_lease: Optional[int] = _UNSET,  # type: ignore[assignment]
     ) -> None:
-        if workers is not None and workers < 1:
-            raise SweepError(f"workers must be >= 1, got {workers}")
-        if resume and manifest_dir is None:
-            raise SweepError("resume requires a manifest_dir")
-        if resume and cache is None:
-            raise SweepError(
-                "resume requires a cache (manifests record digests, payloads "
-                "live in the result cache)"
+        legacy = {
+            name: value
+            for name, value in (
+                ("workers", workers),
+                ("cache", cache),
+                ("backend", backend),
+                ("manifest_dir", manifest_dir),
+                ("resume", resume),
+                ("shard", shard),
+                ("jobs_per_lease", jobs_per_lease),
             )
-        self.workers = workers
-        self.cache = cache
-        self.backend = backend
-        self.manifest_dir = manifest_dir
-        self.resume = resume
-        self.shard = shard
+            if value is not _UNSET
+        }
+        if legacy:
+            if config is not None:
+                raise SweepError(
+                    "pass either SweepRunner(config=RunConfig(...)) or the "
+                    "deprecated keyword arguments, not both"
+                )
+            warn(
+                "SweepRunner(workers=, cache=, backend=, ...) is deprecated; "
+                "pass SweepRunner(config=RunConfig(...)) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = RunConfig(**legacy)
+        elif config is None:
+            config = RunConfig()
+        if not isinstance(config, RunConfig):
+            raise SweepError(
+                f"config must be a RunConfig, got {type(config).__name__}"
+            )
+        self.config = config
+
+    # -- read-only views of the frozen configuration -------------------
+    @property
+    def workers(self) -> Optional[int]:
+        """Requested parallelism (``None`` = autodetect)."""
+        return self.config.workers
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        """The result cache, or ``None`` when caching is disabled."""
+        return self.config.cache
+
+    @property
+    def backend(self) -> Union[str, ExecutionBackend, None]:
+        """The configured backend name/instance (``None`` = default policy)."""
+        return self.config.backend
+
+    @property
+    def manifest_dir(self) -> Union[str, os.PathLike, None]:
+        """Directory of the per-sweep checkpoint manifests, if any."""
+        return self.config.manifest_dir
+
+    @property
+    def resume(self) -> bool:
+        """Whether completed manifest entries are skipped on re-run."""
+        return self.config.resume
+
+    @property
+    def shard(self) -> Optional[ShardSpec]:
+        """The grid slice this runner executes, or ``None`` for all of it."""
+        return self.config.shard
+
+    @property
+    def jobs_per_lease(self) -> Optional[int]:
+        """Lease granularity for batching backends (``None`` = default)."""
+        return self.config.jobs_per_lease
 
     # ------------------------------------------------------------------
     def run(self, spec: SweepSpec) -> SweepResult:
@@ -206,7 +258,9 @@ class SweepRunner:
         if pending:
             workers = self.workers if self.workers is not None else autodetect_workers()
             workers = max(1, min(workers, len(pending)))
-            backend = create_backend(self.backend, workers)
+            backend = create_backend(
+                self.backend, workers, jobs_per_lease=self.jobs_per_lease
+            )
 
             def on_result(job: Job, payload: Dict[str, object]) -> None:
                 payloads[job.key] = payload

@@ -89,6 +89,27 @@ def partition(jobs: Sequence[Job], count: int) -> List[List[Job]]:
     return shards
 
 
+def lease_partition(jobs: Sequence[Job], jobs_per_lease: int) -> List[List[Job]]:
+    """Group ``jobs`` into leases of roughly ``jobs_per_lease`` each.
+
+    This is the grouping behind batched dispatch (the ``batch`` backend)
+    and distributed work leases: the job list is split into
+    ``ceil(len(jobs) / jobs_per_lease)`` groups by the same
+    fingerprint-hash assignment :func:`partition` uses for shards, so the
+    grouping is deterministic, order-insensitive, and machine-independent
+    — every coordinator computes the same leases for the same grid.
+    Empty groups are dropped; like shard balance, group sizes are
+    statistical, so a group may hold a few more (or fewer) jobs than
+    requested.
+    """
+    if jobs_per_lease < 1:
+        raise SweepError(f"jobs_per_lease must be >= 1, got {jobs_per_lease}")
+    if not jobs:
+        return []
+    count = max(1, -(-len(jobs) // jobs_per_lease))
+    return [group for group in partition(jobs, count) if group]
+
+
 def ownership(jobs: Sequence[Job], count: int) -> Dict[str, int]:
     """Map each job fingerprint to its owning 1-based shard index."""
     return {

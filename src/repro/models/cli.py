@@ -30,18 +30,14 @@ from pathlib import Path
 from typing import List, Optional, TextIO
 
 from repro.errors import ModelError, ReproError
-from repro.experiments.sweep.backends import BACKEND_NAMES
-from repro.experiments.sweep.cache import ResultCache
-from repro.experiments.sweep.pool import SweepRunner, autodetect_workers
+from repro.experiments.sweep.config import (
+    RunConfig,
+    add_runner_arguments,
+    positive_int as _positive_int,
+)
+from repro.experiments.sweep.pool import SweepRunner
 from repro.models.registry import DEFAULT_MODELS_DIR, ModelRegistry
 from repro.utils.tables import format_table
-
-
-def _positive_int(text: str) -> int:
-    value = int(text)
-    if value < 1:
-        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
-    return value
 
 
 def _add_models_dir(parser: argparse.ArgumentParser) -> None:
@@ -54,28 +50,9 @@ def _add_models_dir(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--workers",
-        type=_positive_int,
-        default=None,
-        metavar="N",
-        help="worker processes (default: one per CPU; 1 = serial)",
-    )
-    parser.add_argument(
-        "--cache-dir",
-        default=".sweep-cache",
-        metavar="DIR",
-        help="on-disk result cache location (default: %(default)s)",
-    )
-    parser.add_argument(
-        "--no-cache", action="store_true", help="disable the result cache"
-    )
-    parser.add_argument(
-        "--backend",
-        choices=("auto",) + BACKEND_NAMES,
-        default="auto",
-        help="execution backend (default: process pool when workers > 1)",
-    )
+    # Single-sourced from repro.experiments.sweep.config so the runner
+    # flags behave identically to python -m repro.experiments.
+    add_runner_arguments(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -187,13 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _make_runner(args: argparse.Namespace) -> SweepRunner:
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    workers = args.workers if args.workers is not None else autodetect_workers()
-    return SweepRunner(
-        workers=workers,
-        cache=cache,
-        backend=None if args.backend == "auto" else args.backend,
-    )
+    return SweepRunner(config=RunConfig.from_args(args))
 
 
 def _load_scenario_target(name: str):

@@ -209,7 +209,7 @@ def _bench_qlearning_step(quick: bool) -> Tuple[int, str]:
 def _bench_fig9_headline(quick: bool) -> Tuple[int, str]:
     """Reduced Figure 9 sweep through the real experiment entry point."""
     from repro.experiments.socs import run_soc_comparison
-    from repro.experiments.sweep import SweepRunner
+    from repro.experiments.sweep import RunConfig, SweepRunner
 
     if quick:
         labels: Sequence[str] = ("SoC1", "SoC6")
@@ -223,7 +223,7 @@ def _bench_fig9_headline(quick: bool) -> Tuple[int, str]:
         seed=29,
         # Pin the serial backend explicitly: the benchmark times the
         # simulation itself, never pool management or pickling.
-        runner=SweepRunner(workers=1, backend="serial"),
+        runner=SweepRunner(config=RunConfig(workers=1, backend="serial")),
     )
     payload = {
         soc: {name: ev.to_dict() for name, ev in evaluations.items()}

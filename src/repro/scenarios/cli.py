@@ -35,77 +35,34 @@ from typing import List, Optional, TextIO
 
 from repro.errors import ConfigurationError, ReproError
 from repro.experiments.common import STANDARD_POLICY_KINDS
-from repro.experiments.sweep.backends import BACKEND_NAMES
-from repro.experiments.sweep.cache import ResultCache
-from repro.experiments.sweep.pool import SweepRunner, autodetect_workers
+from repro.experiments.sweep.config import (
+    RunConfig,
+    add_runner_arguments,
+    positive_int as _positive_int,
+)
+from repro.experiments.sweep.pool import SweepRunner
+from repro.experiments.sweep.shard import ShardIncompleteError
 from repro.scenarios.registry import all_scenarios, get_scenario
 from repro.scenarios.scenario import Scenario
 from repro.utils.tables import format_table
 
 
-def _positive_int(text: str) -> int:
-    value = int(text)
-    if value < 1:
-        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
-    return value
-
-
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
-    """Add the shared sweep-runner flags (``run`` and ``matrix``)."""
-    parser.add_argument(
-        "--workers",
-        type=_positive_int,
-        default=None,
-        metavar="N",
-        help="worker processes (default: one per CPU; 1 = serial)",
-    )
-    parser.add_argument(
-        "--cache-dir",
-        default=".sweep-cache",
-        metavar="DIR",
-        help="on-disk result cache location (default: %(default)s)",
-    )
-    parser.add_argument(
-        "--no-cache", action="store_true", help="disable the result cache"
-    )
-    parser.add_argument(
-        "--backend",
-        choices=("auto",) + BACKEND_NAMES,
-        default="auto",
-        help="execution backend (default: process pool when workers > 1)",
-    )
-    parser.add_argument(
-        "--manifest-dir",
-        default=None,
-        metavar="DIR",
-        help="sweep manifest location (default: <cache-dir>/manifests)",
-    )
-    parser.add_argument(
-        "--resume",
-        action="store_true",
-        help="skip jobs an existing manifest records complete "
-        "(digest-verified against the cache)",
-    )
+    """Add the shared sweep-runner flags (``run`` and ``matrix``).
+
+    The flag set is single-sourced from
+    :func:`repro.experiments.sweep.config.add_runner_arguments`, so
+    ``--workers``/``--backend``/``--cache-dir``/``--manifest-dir``/
+    ``--resume``/``--shard``/``--jobs-per-lease`` behave exactly as they
+    do in ``python -m repro.experiments``.
+    """
+    add_runner_arguments(parser)
 
 
 def _runner_from_args(args: argparse.Namespace) -> tuple:
     """Build the (runner, workers, cache) triple from the shared flags."""
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    if cache is None and args.resume:
-        raise ConfigurationError("--resume needs the result cache; drop --no-cache")
-    workers = args.workers if args.workers is not None else autodetect_workers()
-    if args.manifest_dir is not None:
-        manifest_dir = Path(args.manifest_dir)
-    else:
-        manifest_dir = None if cache is None else Path(args.cache_dir) / "manifests"
-    runner = SweepRunner(
-        workers=workers,
-        cache=cache,
-        backend=None if args.backend == "auto" else args.backend,
-        manifest_dir=manifest_dir,
-        resume=args.resume,
-    )
-    return runner, workers, cache
+    config = RunConfig.from_args(args)
+    return SweepRunner(config=config), config.workers, config.cache
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -405,14 +362,27 @@ def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
     runner, workers, cache = _runner_from_args(args)
 
     started = time.perf_counter()
-    result = run_scenario(
-        scenario,
-        policy_kinds=policy_kinds,
-        seed=args.seed,
-        training_iterations=args.training_iterations,
-        runner=runner,
-        pretrained=pretrained,
-    )
+    try:
+        result = run_scenario(
+            scenario,
+            policy_kinds=policy_kinds,
+            seed=args.seed,
+            training_iterations=args.training_iterations,
+            runner=runner,
+            pretrained=pretrained,
+        )
+    except ShardIncompleteError as exc:
+        # Same contract as python -m repro.experiments --shard: the owned
+        # slice is checkpointed; the report needs the sibling shards.
+        if runner.shard is None:
+            raise
+        print(
+            f"[scenario] shard {runner.shard.label} of scenario "
+            f"{scenario.name} complete; no report without the other "
+            f"shards ({exc})",
+            file=out,
+        )
+        return 0
     elapsed = time.perf_counter() - started
 
     print(result.report(), file=out)
@@ -560,7 +530,17 @@ def _cmd_matrix(args: argparse.Namespace, out: TextIO) -> int:
         raise ConfigurationError("matrix needs --scenario NAME and/or --spec FILE")
 
     started = time.perf_counter()
-    matrix = transfer_matrix(artifacts, scenarios, runner=runner, seed=args.seed)
+    try:
+        matrix = transfer_matrix(artifacts, scenarios, runner=runner, seed=args.seed)
+    except ShardIncompleteError as exc:
+        if runner.shard is None:
+            raise
+        print(
+            f"[matrix] shard {runner.shard.label} complete; no matrix "
+            f"without the other shards ({exc})",
+            file=out,
+        )
+        return 0
     elapsed = time.perf_counter() - started
 
     print(report_transfer_matrix(matrix), file=out)

@@ -32,7 +32,9 @@ SCOPED_FILES: List[Path] = sorted(
     + list((SRC / "soc").rglob("*.py"))
     + list((SRC / "perf").rglob("*.py"))
     + list((SRC / "experiments" / "sweep" / "backends").rglob("*.py"))
+    + list((SRC / "experiments" / "sweep" / "distributed").rglob("*.py"))
     + [
+        SRC / "experiments" / "sweep" / "config.py",
         SRC / "experiments" / "sweep" / "manifest.py",
         SRC / "experiments" / "sweep" / "shard.py",
         SRC / "experiments" / "sweep" / "merge.py",
@@ -98,6 +100,8 @@ def test_scope_covers_expected_modules():
     assert any(name.startswith("soc/") for name in names)
     assert any(name.startswith("perf/") for name in names)
     assert any(name.startswith("experiments/sweep/backends/") for name in names)
+    assert any(name.startswith("experiments/sweep/distributed/") for name in names)
+    assert "experiments/sweep/config.py" in names
     assert "experiments/sweep/manifest.py" in names
     assert "experiments/sweep/shard.py" in names
     assert "experiments/sweep/merge.py" in names

@@ -20,6 +20,7 @@ from repro.experiments.sweep import (
     create_backend,
 )
 from repro.experiments.sweep.backends import (
+    BatchBackend,
     ProcessPoolBackend,
     SerialBackend,
     ThreadPoolBackend,
@@ -50,12 +51,22 @@ def _grid(fn=_mul_job, n=8) -> SweepSpec:
 
 class TestRegistry:
     def test_registry_names(self):
-        assert BACKEND_NAMES == ("process", "serial", "thread")
+        assert BACKEND_NAMES == ("batch", "process", "serial", "thread")
 
     def test_create_by_name(self):
         assert isinstance(create_backend("serial", workers=4), SerialBackend)
         assert isinstance(create_backend("process", workers=1), ProcessPoolBackend)
         assert isinstance(create_backend("thread", workers=1), ThreadPoolBackend)
+        assert isinstance(create_backend("batch", workers=1), BatchBackend)
+
+    def test_batch_backend_receives_jobs_per_lease(self):
+        backend = create_backend("batch", workers=2, jobs_per_lease=7)
+        assert backend.jobs_per_lease == 7
+        # Other backends silently ignore the lease granularity.
+        assert isinstance(
+            create_backend("process", workers=2, jobs_per_lease=7),
+            ProcessPoolBackend,
+        )
 
     def test_default_policy_follows_workers(self):
         assert isinstance(create_backend(None, workers=1), SerialBackend)
@@ -71,7 +82,7 @@ class TestRegistry:
 
 
 class TestContract:
-    @pytest.mark.parametrize("name", ["serial", "process", "thread"])
+    @pytest.mark.parametrize("name", ["serial", "process", "thread", "batch"])
     def test_every_job_reported_exactly_once(self, name):
         spec = _grid()
         seen = []
@@ -86,7 +97,7 @@ class TestContract:
         assert used == 1
         assert seen == spec.keys()
 
-    @pytest.mark.parametrize("name", ["process", "thread"])
+    @pytest.mark.parametrize("name", ["process", "thread", "batch"])
     def test_backends_match_serial_reference(self, name):
         spec = _grid()
         reference = SweepRunner(workers=1, backend="serial").run(spec)
