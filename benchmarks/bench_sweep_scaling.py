@@ -37,6 +37,7 @@ from repro.experiments.isolation import run_isolation_experiment
 from repro.experiments.socs import run_soc_comparison
 from repro.experiments.sweep import RunConfig, SweepRunner
 from repro.units import KB
+from repro.utils.host import host_metadata
 
 from .conftest import RESULTS_DIR, is_full_scale
 
@@ -150,6 +151,7 @@ def test_sweep_scaling(benchmark, emit):
     record = {
         "benchmark": "sweep_scaling",
         "cpu_count": os.cpu_count(),
+        "host": host_metadata(),
         "before": BEFORE,
         "small_grid": {
             "description": "tiny-footprint isolation sweep (dispatch-bound)",

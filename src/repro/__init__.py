@@ -27,7 +27,16 @@ The library is organised as follows:
 * :mod:`repro.serving` — the JSON/HTTP policy server: batched decision
   requests, bounded what-if evaluations, atomic hot reload on registry
   digest changes, and the SLO-gated deterministic load generator
-  (``python -m repro.serving``).
+  (``python -m repro.serving``);
+* :mod:`repro.net` — the shared asyncio keep-alive HTTP/1.1 transport and
+  typed error-envelope machinery every in-repo server is built on;
+* :mod:`repro.store` — the unified read side for every digest-bearing
+  on-disk document (sweep manifests, cache entries, BENCH reports, model
+  artifacts, transfer matrices), one typed reader per format;
+* :mod:`repro.tracking` — the read-only experiment-tracking API over
+  :mod:`repro.net` and :mod:`repro.store`: sweep runs with live progress,
+  the model registry with provenance, and the BENCH trajectory with
+  regression flagging (``python -m repro.tracking``).
 
 The docs site under ``docs/`` (``mkdocs build``) covers every layer; see
 ``docs/architecture.md`` for the layer map.

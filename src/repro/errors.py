@@ -40,11 +40,24 @@ class SweepError(ReproError):
     """A sweep specification, job, or result cache is invalid."""
 
 
-class ModelError(ReproError):
+class DocumentError(ReproError):
+    """An on-disk JSON/JSONL document is missing, corrupt, or tampered.
+
+    Raised by :mod:`repro.store` — the unified read side for every
+    digest-bearing document format the repository writes (sweep
+    manifests, result-cache entries, BENCH reports, model artifacts,
+    transfer matrices) — when a document cannot be read, parsed, or
+    verified against its recorded digest.
+    """
+
+
+class ModelError(DocumentError):
     """A trained-policy artifact or model registry is invalid.
 
     Raised by :mod:`repro.models` for corrupt, truncated, tampered, or
     version-incompatible artifacts and for bad registry operations.
+    A model artifact is one of the repository's digest-bearing document
+    formats, so this is a :class:`DocumentError`.
     """
 
 
@@ -53,4 +66,12 @@ class ServingError(ReproError):
 
     Raised by :mod:`repro.serving` for invalid requests, transport
     failures, and server configuration problems.
+    """
+
+
+class TrackingError(ReproError):
+    """The experiment-tracking service was misconfigured or misused.
+
+    Raised by :mod:`repro.tracking` for invalid requests, missing
+    document directories, and server configuration problems.
     """

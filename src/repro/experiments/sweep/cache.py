@@ -20,11 +20,8 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
 from repro.errors import SweepError
+from repro.store.io import canonical_text
 from repro.utils.fileio import atomic_write_text
-
-
-def _dump_canonical(document: Dict[str, object]) -> str:
-    return json.dumps(document, sort_keys=True, separators=(",", ":"))
 
 
 class ResultCache:
@@ -58,7 +55,7 @@ class ResultCache:
     def put(self, fingerprint: str, key: str, payload: Dict[str, object]) -> None:
         """Persist ``payload`` for ``fingerprint`` atomically."""
         try:
-            text = _dump_canonical(
+            text = canonical_text(
                 {"fingerprint": fingerprint, "key": key, "payload": payload}
             )
         except (TypeError, ValueError) as exc:

@@ -49,6 +49,7 @@ from repro.experiments.sweep.merge import (
 )
 from repro.experiments.sweep.pool import SweepRunner
 from repro.experiments.sweep.shard import ShardIncompleteError
+from repro.store.io import read_document
 
 #: Figure name -> (description, runner function).  Each runner function
 #: takes the parsed arguments plus a SweepRunner and returns a report string.
@@ -384,7 +385,9 @@ def _main_merge(argv: List[str], out: TextIO) -> int:
         )
         print(f"wrote check document to {args.write_check}", file=out)
     if args.check is not None:
-        expected = json.loads(args.check.read_text())
+        expected = read_document(args.check)
+        if not isinstance(expected, dict):
+            raise SweepError(f"check document {args.check} must be a JSON object")
         problems = report.compare(expected)
         if problems:
             print(

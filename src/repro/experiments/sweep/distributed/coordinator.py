@@ -6,9 +6,10 @@
 manifest checkpointing, resume, and sharding all behave exactly as they
 do for the in-process backends.  What changes is *who executes*: instead
 of forking a pool, ``run()`` publishes the pending jobs as leases on an
-embedded asyncio HTTP server (the same hand-rolled keep-alive HTTP/1.1
-transport idiom as :mod:`repro.serving.http`) and blocks until remote
-workers have pulled and completed every lease.
+embedded asyncio HTTP server (the shared keep-alive HTTP/1.1 transport
+of :mod:`repro.net.http`, the same one :mod:`repro.serving.http` runs
+on) and blocks until remote workers have pulled and completed every
+lease.
 
 Routes::
 
@@ -37,7 +38,6 @@ simply expires and is reissued (see
 from __future__ import annotations
 
 import asyncio
-import json
 import queue
 import threading
 import time
@@ -53,6 +53,7 @@ from repro.experiments.sweep.distributed.protocol import (
     error_envelope,
 )
 from repro.experiments.sweep.sweep import Job
+from repro.net.http import JsonHttpServer
 
 #: Largest accepted request body (bytes); larger bodies get a 413 envelope.
 MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -60,18 +61,8 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 #: Largest accepted request head (request line + headers, bytes).
 MAX_HEAD_BYTES = 64 * 1024
 
-_STATUS_REASON = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    409: "Conflict",
-    413: "Payload Too Large",
-    500: "Internal Server Error",
-}
 
-
-class DistributedBackend(ExecutionBackend):
+class DistributedBackend(ExecutionBackend, JsonHttpServer):
     """Serves sweep jobs as HTTP leases to remote pull workers.
 
     Parameters
@@ -99,6 +90,11 @@ class DistributedBackend(ExecutionBackend):
             raise SweepError(f"jobs_per_lease must be >= 1, got {jobs_per_lease}")
         if lease_timeout <= 0:
             raise SweepError(f"lease_timeout must be > 0, got {lease_timeout}")
+        super().__init__(
+            max_body_bytes=MAX_BODY_BYTES,
+            max_head_bytes=MAX_HEAD_BYTES,
+            wire_error=WireError,
+        )
         self.host = host
         self.port = port
         self.jobs_per_lease = jobs_per_lease
@@ -108,7 +104,6 @@ class DistributedBackend(ExecutionBackend):
         self._stop: Optional[asyncio.Event] = None
         self._ready = threading.Event()
         self._startup_error: Optional[BaseException] = None
-        self._connections: set = set()
         # Current assignment, owned by the loop thread.
         self._board: Optional[LeaseBoard] = None
         self._results: Optional["queue.Queue"] = None
@@ -183,7 +178,7 @@ class DistributedBackend(ExecutionBackend):
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
         server = await asyncio.start_server(
-            self._handle_connection, host=self.host, port=self.port
+            self.handle_connection, host=self.host, port=self.port
         )
         self.port = server.sockets[0].getsockname()[1]
         self._ready.set()
@@ -191,13 +186,9 @@ class DistributedBackend(ExecutionBackend):
             async with server:
                 await self._stop.wait()
         finally:
-            # Idle keep-alive workers sit in a blocked read; cancel them
-            # so no handler task outlives the server.
-            for task in list(self._connections):
-                task.cancel()
-            if self._connections:
-                await asyncio.gather(*self._connections, return_exceptions=True)
-                self._connections.clear()
+            # Idle keep-alive workers sit in a blocked read; the shared
+            # transport cancels them so no handler outlives the server.
+            await self.cancel_connections()
 
     # ------------------------------------------------------------------
     # ExecutionBackend
@@ -262,151 +253,41 @@ class DistributedBackend(ExecutionBackend):
         self._results = results
 
     # ------------------------------------------------------------------
-    # HTTP plumbing (the repro.serving keep-alive transport idiom)
+    # Routing (transport plumbing lives in repro.net.http)
     # ------------------------------------------------------------------
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        """Serve keep-alive requests on one connection until EOF."""
-        task = asyncio.current_task()
-        if task is not None:
-            self._connections.add(task)
-        try:
-            while True:
-                try:
-                    request = await self._read_request(reader)
-                except WireError as exc:
-                    await self._write_response(
-                        writer,
-                        exc.status,
-                        error_envelope(exc.error_type, str(exc)),
-                        keep_alive=False,
-                    )
-                    break
-                if request is None:
-                    break
-                method, path, body, keep_alive = request
-                status, document = self._dispatch(method, path, body)
-                await self._write_response(writer, status, document, keep_alive)
-                if not keep_alive:
-                    break
-        except (ConnectionError, asyncio.IncompleteReadError):
-            pass
-        except asyncio.CancelledError:
-            pass
-        finally:
-            if task is not None:
-                self._connections.discard(task)
-            writer.close()
-
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, bytes, bool]]:
-        """Parse one request; ``None`` on a clean EOF between requests."""
-        try:
-            head = await reader.readuntil(b"\r\n\r\n")
-        except asyncio.IncompleteReadError as exc:
-            if not exc.partial:
-                return None
-            raise
-        except asyncio.LimitOverrunError as exc:
-            raise WireError(
-                "payload-too-large", "request head exceeds the server limit"
-            ) from exc
-        if len(head) > MAX_HEAD_BYTES:
-            raise WireError(
-                "payload-too-large", "request head exceeds the server limit"
-            )
-        lines = head.decode("latin-1").split("\r\n")
-        parts = lines[0].split(" ")
-        if len(parts) != 3:
-            raise WireError("invalid-request", f"malformed request line {lines[0]!r}")
-        method, target, _version = parts
-        headers: Dict[str, str] = {}
-        for line in lines[1:]:
-            if not line:
-                continue
-            name, _, value = line.partition(":")
-            headers[name.strip().lower()] = value.strip()
-        keep_alive = headers.get("connection", "keep-alive").lower() != "close"
-        length_text = headers.get("content-length", "0")
-        try:
-            length = int(length_text)
-        except ValueError:
-            raise WireError(
-                "invalid-request", f"invalid Content-Length {length_text!r}"
-            ) from None
-        if length < 0:
-            raise WireError("invalid-request", f"invalid Content-Length {length}")
-        if length > MAX_BODY_BYTES:
-            raise WireError(
-                "payload-too-large",
-                f"request body of {length} bytes exceeds the server limit "
-                f"of {MAX_BODY_BYTES}",
-            )
-        body = await reader.readexactly(length) if length else b""
-        path = target.split("?", 1)[0]
-        return method.upper(), path, body, keep_alive
-
-    def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, Dict]:
+    async def dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict]:
         """Route one request, mapping every failure to a typed envelope."""
         try:
             return self._route(method, path, body)
         except WireError as exc:
-            return exc.status, error_envelope(exc.error_type, str(exc))
+            return exc.status, exc.envelope()
         except Exception as exc:  # noqa: BLE001 - boundary: everything becomes JSON
             return 500, error_envelope(
                 "internal-error", f"unexpected {type(exc).__name__}"
             )
 
     def _route(self, method: str, path: str, body: bytes) -> Tuple[int, Dict]:
-        """The route table proper (exceptions handled by ``_dispatch``)."""
-        if path == "/healthz":
-            self._require(method, "GET", path)
-            return 200, self._health_document()
+        """The route table proper (exceptions handled by ``dispatch``)."""
+        builtin = self.route_builtin(method, path)
+        if builtin is not None:
+            return builtin
         if path == "/v1/status":
-            self._require(method, "GET", path)
+            self.require_method(method, "GET", path)
             return 200, self._status_document()
         if path == "/v1/lease":
-            self._require(method, "POST", path)
-            return 200, self._lease(_parse_body(body))
+            self.require_method(method, "POST", path)
+            return 200, self._lease(self.parse_json_body(body))
         if path == "/v1/complete":
-            self._require(method, "POST", path)
-            return 200, self._complete(_parse_body(body))
+            self.require_method(method, "POST", path)
+            return 200, self._complete(self.parse_json_body(body))
         raise WireError("not-found", f"no route for {path!r}")
-
-    @staticmethod
-    def _require(method: str, expected: str, path: str) -> None:
-        """Reject a request whose method does not match the route."""
-        if method != expected:
-            raise WireError(
-                "invalid-request", f"{path} expects {expected}, got {method}"
-            )
-
-    async def _write_response(
-        self,
-        writer: asyncio.StreamWriter,
-        status: int,
-        document: Dict[str, object],
-        keep_alive: bool,
-    ) -> None:
-        """Serialise one JSON response with standard framing headers."""
-        payload = json.dumps(document, sort_keys=True).encode("utf-8")
-        reason = _STATUS_REASON.get(status, "Error")
-        head = (
-            f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(payload)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            f"\r\n"
-        )
-        writer.write(head.encode("latin-1") + payload)
-        await writer.drain()
 
     # ------------------------------------------------------------------
     # Route handlers (loop thread only)
     # ------------------------------------------------------------------
-    def _health_document(self) -> Dict[str, object]:
+    def healthz_document(self) -> Dict[str, object]:
         """Liveness + board counters for ``/healthz``."""
         document: Dict[str, object] = {
             "status": "ok",
@@ -487,18 +368,6 @@ class DistributedBackend(ExecutionBackend):
             "lease_known": receipt.lease_known,
             "done": self._board.done,
         }
-
-
-def _parse_body(body: bytes) -> object:
-    """Decode a request body as one JSON document."""
-    if not body:
-        raise WireError("invalid-request", "request body must be a JSON document")
-    try:
-        return json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, ValueError) as exc:
-        raise WireError(
-            "invalid-request", f"request body is not valid JSON: {exc}"
-        ) from exc
 
 
 def _worker_of(request: object) -> str:

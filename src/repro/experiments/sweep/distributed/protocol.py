@@ -37,6 +37,7 @@ from typing import Dict, Mapping
 from repro.errors import SweepError
 from repro.experiments.sweep.manifest import payload_digest
 from repro.experiments.sweep.sweep import Job
+from repro.net.envelope import EnvelopeError, make_envelope
 
 #: Version stamped into every coordinator response; workers refuse to
 #: execute leases from a different protocol generation.
@@ -54,33 +55,19 @@ ERROR_STATUS: Dict[str, int] = {
 }
 
 
-class WireError(SweepError):
+class WireError(EnvelopeError, SweepError):
     """A coordinator/worker exchange that failed, with a typed envelope."""
 
-    def __init__(self, error_type: str, message: str) -> None:
-        if error_type not in ERROR_STATUS:
-            raise SweepError(f"unknown error-envelope type {error_type!r}")
-        super().__init__(message)
-        #: One of the :data:`ERROR_STATUS` keys.
-        self.error_type = error_type
+    #: The coordinator/worker vocabulary; see :data:`ERROR_STATUS`.
+    vocabulary = ERROR_STATUS
 
-    @property
-    def status(self) -> int:
-        """The HTTP status code of this error's envelope."""
-        return ERROR_STATUS[self.error_type]
+    #: Unknown envelope types are a coordinator-side bug.
+    unknown_error = SweepError
 
 
 def error_envelope(error_type: str, message: str) -> Dict[str, object]:
     """Build the JSON error envelope for ``error_type``."""
-    if error_type not in ERROR_STATUS:
-        raise SweepError(f"unknown error-envelope type {error_type!r}")
-    return {
-        "error": {
-            "type": error_type,
-            "status": ERROR_STATUS[error_type],
-            "message": message,
-        }
-    }
+    return make_envelope(ERROR_STATUS, error_type, message, SweepError)
 
 
 def encode_job(job: Job) -> Dict[str, object]:

@@ -24,34 +24,31 @@ exact bytes the interrupted run produced.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import re
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
-from repro.errors import SweepError
+from repro.errors import DocumentError, SweepError
 from repro.experiments.sweep.shard import ShardSpec
 from repro.experiments.sweep.sweep import Job, SweepSpec
-
-MANIFEST_VERSION = 1
-MANIFEST_SUFFIX = ".manifest.jsonl"
+from repro.store.io import canonical_digest
+from repro.store.readers import (
+    MANIFEST_SUFFIX,
+    MANIFEST_VERSION,
+    grid_digest,
+    load_sweep_manifest,
+)
 
 
 def payload_digest(payload: Dict[str, object]) -> str:
     """SHA-256 of the canonical JSON rendering of a job payload.
 
-    Uses the same ``sort_keys`` / fixed-separator rendering as the result
-    cache, so equal digests mean byte-identical cached payloads.
+    Delegates to :func:`repro.store.io.canonical_digest` — the one
+    content-digest implementation — so equal digests always mean
+    byte-identical cached payloads.
     """
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
-
-
-def grid_digest(grid: Sequence[Tuple[str, str]]) -> str:
-    """Content digest of a grid: its sorted ``(key, fingerprint)`` pairs."""
-    blob = json.dumps(sorted(grid), separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return canonical_digest(payload)
 
 
 def _safe_name(name: str) -> str:
@@ -160,55 +157,30 @@ class SweepManifest:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "SweepManifest":
-        """Parse a manifest file, tolerating a truncated final line."""
-        path = Path(path)
-        try:
-            lines = path.read_text().splitlines()
-        except OSError as exc:
-            raise SweepError(f"cannot read manifest {path}: {exc}") from exc
-        if not lines:
-            raise SweepError(f"manifest {path} is empty")
-        header = cls._parse_line(lines[0])
-        if not isinstance(header, dict) or header.get("kind") != "header":
-            raise SweepError(f"manifest {path} does not start with a header line")
-        if header.get("version") != MANIFEST_VERSION:
-            raise SweepError(
-                f"manifest {path} has version {header.get('version')!r}; "
-                f"this build reads version {MANIFEST_VERSION}"
-            )
-        try:
-            grid = [(entry["key"], entry["fingerprint"]) for entry in header["jobs"]]
-            spec_name = str(header["spec"])
-            raw_shard = header.get("shard")
-            shard = (
-                ShardSpec(index=int(raw_shard["index"]), count=int(raw_shard["count"]))
-                if raw_shard
-                else None
-            )
-        except (KeyError, TypeError) as exc:
-            raise SweepError(f"manifest {path} has a malformed header: {exc}") from exc
-        completed: Dict[str, str] = {}
-        for line in lines[1:]:
-            record = cls._parse_line(line)
-            if (
-                isinstance(record, dict)
-                and record.get("kind") == "result"
-                and isinstance(record.get("fingerprint"), str)
-                and isinstance(record.get("digest"), str)
-            ):
-                completed[record["fingerprint"]] = record["digest"]
-        return cls(path, spec_name, grid, shard, completed)
+        """Parse a manifest file, tolerating a truncated final line.
 
-    @staticmethod
-    def _parse_line(line: str) -> Optional[object]:
-        """JSON-decode one line; ``None`` for a blank or truncated line."""
-        line = line.strip()
-        if not line:
-            return None
+        The parse itself — including the crash-tolerance rule for a
+        truncated trailing record — lives in
+        :func:`repro.store.readers.load_sweep_manifest`, shared with
+        every other manifest consumer; this wrapper only rehydrates the
+        attachable class and maps failures to the sweep domain.
+        """
         try:
-            return json.loads(line)
-        except ValueError:
-            return None
+            document = load_sweep_manifest(path)
+        except DocumentError as exc:
+            raise SweepError(str(exc)) from exc
+        shard = (
+            ShardSpec(index=document.shard[0], count=document.shard[1])
+            if document.shard is not None
+            else None
+        )
+        return cls(
+            document.path,
+            document.spec_name,
+            document.grid,
+            shard,
+            document.completed,
+        )
 
     # ------------------------------------------------------------------
     def mark_done(self, job: Job, payload: Dict[str, object]) -> str:

@@ -38,8 +38,6 @@ Every validation failure raises :class:`~repro.errors.ModelError`.
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -47,6 +45,7 @@ from typing import Dict, Optional, Union
 from repro import __version__
 from repro.core.policies import CohmeleonPolicy
 from repro.errors import ModelError
+from repro.store.io import canonical_digest, canonical_text
 from repro.utils.fileio import atomic_write_text, read_json_document
 
 #: The ``format`` marker every artifact document carries.
@@ -67,17 +66,16 @@ PROVENANCE_FIELDS = (
 )
 
 
-def _canonical_text(document: Dict[str, object]) -> str:
-    return json.dumps(document, sort_keys=True, separators=(",", ":"))
-
-
 def payload_digest(payload: Dict[str, object]) -> str:
-    """SHA-256 digest of the canonical rendering of an artifact payload."""
+    """SHA-256 digest of the canonical rendering of an artifact payload.
+
+    Delegates to :func:`repro.store.io.canonical_digest`, the one
+    content-digest implementation shared by every format.
+    """
     try:
-        text = _canonical_text(payload)
+        return canonical_digest(payload)
     except (TypeError, ValueError) as exc:
         raise ModelError(f"artifact payload is not JSON-serialisable: {exc}") from exc
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def build_provenance(
@@ -209,7 +207,7 @@ class PolicyArtifact:
 
     def dumps(self) -> str:
         """Canonical JSON text of the full document."""
-        return _canonical_text(self.to_document())
+        return canonical_text(self.to_document())
 
     def save(self, path: Union[str, Path]) -> Path:
         """Write the artifact to ``path`` atomically; return the path."""

@@ -1,0 +1,83 @@
+"""Typed error-envelope machinery shared by every wire protocol.
+
+Each service declares a **closed vocabulary** — a mapping from error-type
+name to HTTP status code — and every failure that crosses the wire is one
+JSON envelope drawn from that vocabulary::
+
+    {"error": {"type": "invalid-request", "status": 400, "message": "..."}}
+
+Because the vocabulary is closed, constructing an envelope (or a wire
+error) for an unknown type is a server-side bug and raises the service's
+own domain error immediately, before anything reaches the socket.  The
+flip side of the same discipline: a traceback never crosses the wire —
+unexpected exceptions become opaque ``internal-error`` envelopes at the
+dispatch boundary while the details stay in the server process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Type
+
+from repro.errors import ReproError
+
+
+def make_envelope(
+    vocabulary: Mapping[str, int],
+    error_type: str,
+    message: str,
+    unknown_error: Type[Exception] = ReproError,
+) -> Dict[str, object]:
+    """Build the JSON error envelope for ``error_type``.
+
+    ``vocabulary`` is the service's closed ``{type: status}`` set;
+    asking for a type outside it raises ``unknown_error`` (the service's
+    domain error class) rather than inventing a status code.
+    """
+    if error_type not in vocabulary:
+        raise unknown_error(f"unknown error-envelope type {error_type!r}")
+    return {
+        "error": {
+            "type": error_type,
+            "status": vocabulary[error_type],
+            "message": message,
+        }
+    }
+
+
+class EnvelopeError(Exception):
+    """Base for wire errors that carry their own typed envelope.
+
+    Subclasses bind a service's closed vocabulary by setting two class
+    attributes — :attr:`vocabulary` (the ``{type: status}`` mapping) and
+    :attr:`unknown_error` (the domain error raised when constructed with
+    a type outside it) — and additionally inherit from the service's
+    domain error so ``except`` clauses written against the domain
+    hierarchy keep working.
+    """
+
+    #: The service's closed ``{error-type: HTTP status}`` vocabulary.
+    vocabulary: Mapping[str, int] = {}
+
+    #: Domain error raised when ``error_type`` is outside the vocabulary.
+    unknown_error: Type[Exception] = ReproError
+
+    def __init__(self, error_type: str, message: str) -> None:
+        if error_type not in self.vocabulary:
+            raise self.unknown_error(f"unknown error-envelope type {error_type!r}")
+        super().__init__(message)
+        #: One of the :attr:`vocabulary` keys.
+        self.error_type = error_type
+
+    @property
+    def status(self) -> int:
+        """The HTTP status code of this error's envelope."""
+        return self.vocabulary[self.error_type]
+
+    def envelope(self) -> Dict[str, object]:
+        """The JSON error envelope for this error."""
+        return make_envelope(
+            self.vocabulary, self.error_type, str(self), self.unknown_error
+        )
+
+
+__all__ = ["EnvelopeError", "make_envelope"]

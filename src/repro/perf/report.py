@@ -16,12 +16,15 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DocumentError
 from repro.perf.bench import BenchmarkResult
+from repro.store.readers import BENCH_SCHEMA, load_bench_report
 from repro.utils.backend import active_backend
+from repro.utils.host import host_metadata
 
-#: Report format identifier (bump on breaking schema changes).
-SCHEMA = "repro-perf/1"
+#: Report format identifier (bump on breaking schema changes); defined
+#: with the readers in :mod:`repro.store.readers`.
+SCHEMA = BENCH_SCHEMA
 
 #: Conventional location of the committed hot-path baseline.
 DEFAULT_REPORT_PATH = Path("benchmarks") / "results" / "BENCH_core_hotpaths.json"
@@ -39,6 +42,7 @@ def make_report(
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "core_backend": active_backend(),
+        "host": host_metadata(),
         "benchmarks": {result.name: result.to_dict() for result in results},
     }
     if before is not None:
@@ -73,18 +77,13 @@ def write_report(report: Dict[str, object], path: Path) -> None:
 
 
 def load_report(path: Path) -> Dict[str, object]:
-    """Load and validate a report written by :func:`write_report`."""
-    path = Path(path)
+    """Load and validate a report written by :func:`write_report`.
+
+    Reads through :func:`repro.store.readers.load_bench_report` — the
+    shared document layer — and maps its failures to the perf CLI's
+    :class:`~repro.errors.ConfigurationError` with identical messages.
+    """
     try:
-        report = json.loads(path.read_text())
-    except FileNotFoundError:
-        raise ConfigurationError(f"perf report {path} does not exist") from None
-    except json.JSONDecodeError as error:
-        raise ConfigurationError(f"perf report {path} is not valid JSON: {error}") from None
-    if not isinstance(report, dict) or report.get("schema") != SCHEMA:
-        raise ConfigurationError(
-            f"perf report {path} does not carry schema {SCHEMA!r}"
-        )
-    if not isinstance(report.get("benchmarks"), dict):
-        raise ConfigurationError(f"perf report {path} has no benchmarks section")
-    return report
+        return load_bench_report(path)
+    except DocumentError as exc:
+        raise ConfigurationError(str(exc)) from None

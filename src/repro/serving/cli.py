@@ -27,7 +27,8 @@ import sys
 from pathlib import Path
 from typing import List, Optional, TextIO
 
-from repro.errors import ReproError, ServingError
+from repro.errors import DocumentError, ReproError, ServingError
+from repro.store.io import read_document
 from repro.models.registry import DEFAULT_MODELS_DIR, ModelRegistry
 from repro.serving.http import ServingServer, serve_forever
 from repro.serving.loadtest import check_slo, run_load, slo_for_scale
@@ -236,11 +237,9 @@ def _cmd_loadtest(args: argparse.Namespace, out: TextIO) -> int:
         print(f"[serving] report written to {destination}", file=out)
     if args.slo is not None:
         try:
-            baseline = json.loads(Path(args.slo).read_text())
-        except OSError as exc:
+            baseline = read_document(Path(args.slo))
+        except DocumentError as exc:
             raise ServingError(f"cannot read SLO baseline {args.slo}: {exc}") from exc
-        except ValueError as exc:
-            raise ServingError(f"{args.slo} is not valid JSON: {exc}") from exc
         violations = check_slo(report, slo_for_scale(baseline, args.scale))
         if violations:
             for violation in violations:

@@ -1,10 +1,11 @@
 """Asyncio HTTP/1.1 transport for the policy-serving service.
 
-Deliberately framework-free: :class:`ServingServer` sits directly on
-``asyncio.start_server`` with a small hand-rolled HTTP/1.1 request parser
-(request line, headers, ``Content-Length`` body, keep-alive), because the
-protocol surface is five routes exchanging single JSON documents and a
-framework would be the only third-party dependency in the repository.
+:class:`ServingServer` is a :class:`repro.net.http.JsonHttpServer` — the
+shared keep-alive HTTP/1.1 transport — wrapping a
+:class:`~repro.serving.service.PolicyService`.  Everything that frames
+bytes on the socket (request parsing, body caps, connection teardown,
+JSON responses) lives in :mod:`repro.net`; this module owns the route
+table and the serving-specific lifecycle.
 
 Concurrency model:
 
@@ -24,17 +25,14 @@ Concurrency model:
 from __future__ import annotations
 
 import asyncio
-import json
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Tuple
 
 from repro.errors import ServingError
-from repro.serving.protocol import (
-    RequestError,
-    envelope_for_exception,
-    error_envelope,
-)
+from repro.net.envelope import EnvelopeError
+from repro.net.http import JsonHttpServer
+from repro.serving.protocol import RequestError, envelope_for_exception
 from repro.serving.service import PolicyService
 
 #: Largest accepted request body (bytes); larger bodies get a 413 envelope.
@@ -43,19 +41,8 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 #: Largest accepted request head (request line + headers, bytes).
 MAX_HEAD_BYTES = 64 * 1024
 
-_STATUS_REASON = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    409: "Conflict",
-    413: "Payload Too Large",
-    422: "Unprocessable Entity",
-    500: "Internal Server Error",
-}
 
-
-class ServingServer:
+class ServingServer(JsonHttpServer):
     """One asyncio HTTP server wrapping a :class:`PolicyService`.
 
     Routes::
@@ -77,6 +64,11 @@ class ServingServer:
         port: int = 0,
         reload_interval: float = 1.0,
     ) -> None:
+        super().__init__(
+            max_body_bytes=MAX_BODY_BYTES,
+            max_head_bytes=MAX_HEAD_BYTES,
+            wire_error=RequestError,
+        )
         self.service = service
         self.host = host
         self.port = port
@@ -84,7 +76,6 @@ class ServingServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._reload_task: Optional[asyncio.Task] = None
         self._executor: Optional[ThreadPoolExecutor] = None
-        self._connections: set = set()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -97,7 +88,7 @@ class ServingServer:
             max_workers=2, thread_name_prefix="repro-whatif"
         )
         self._server = await asyncio.start_server(
-            self._handle_connection, host=self.host, port=self.port
+            self.handle_connection, host=self.host, port=self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
         if self.reload_interval > 0:
@@ -116,14 +107,7 @@ class ServingServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        # Idle keep-alive connections sit in a blocked read; cancel them so
-        # no handler task outlives the server (and trips the event loop's
-        # "task was destroyed" teardown noise).
-        for task in list(self._connections):
-            task.cancel()
-        if self._connections:
-            await asyncio.gather(*self._connections, return_exceptions=True)
-            self._connections.clear()
+        await self.cancel_connections()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -159,100 +143,17 @@ class ServingServer:
                 continue
 
     # ------------------------------------------------------------------
-    # HTTP plumbing
+    # Routing (transport plumbing lives in repro.net.http)
     # ------------------------------------------------------------------
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        """Serve keep-alive requests on one connection until EOF."""
-        task = asyncio.current_task()
-        if task is not None:
-            self._connections.add(task)
-        try:
-            while True:
-                try:
-                    request = await self._read_request(reader)
-                except RequestError as exc:
-                    # Framing errors (bad request line, oversized body):
-                    # answer with the typed envelope, then drop the
-                    # connection — the stream position is unrecoverable.
-                    self.service.stats.record_error(exc.error_type)
-                    await self._write_response(
-                        writer,
-                        exc.status,
-                        error_envelope(exc.error_type, str(exc)),
-                        keep_alive=False,
-                    )
-                    break
-                if request is None:
-                    break
-                method, path, body, keep_alive = request
-                status, document = await self._dispatch(method, path, body)
-                await self._write_response(writer, status, document, keep_alive)
-                if not keep_alive:
-                    break
-        except (ConnectionError, asyncio.IncompleteReadError):
-            pass
-        except asyncio.CancelledError:
-            # Server shutdown cancelled this handler; close and swallow —
-            # re-raising out of the streams callback is logged as noise.
-            pass
-        finally:
-            if task is not None:
-                self._connections.discard(task)
-            writer.close()
+    def healthz_document(self) -> Dict[str, object]:
+        """Liveness + served-model identity for ``/healthz``."""
+        return self.service.healthz()
 
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, bytes, bool]]:
-        """Parse one request; ``None`` on a clean EOF between requests."""
-        try:
-            head = await reader.readuntil(b"\r\n\r\n")
-        except asyncio.IncompleteReadError as exc:
-            if not exc.partial:
-                return None
-            raise
-        except asyncio.LimitOverrunError as exc:
-            raise RequestError(
-                "payload-too-large", "request head exceeds the server limit"
-            ) from exc
-        if len(head) > MAX_HEAD_BYTES:
-            raise RequestError(
-                "payload-too-large", "request head exceeds the server limit"
-            )
-        lines = head.decode("latin-1").split("\r\n")
-        parts = lines[0].split(" ")
-        if len(parts) != 3:
-            raise RequestError("invalid-request", f"malformed request line {lines[0]!r}")
-        method, target, _version = parts
-        headers: Dict[str, str] = {}
-        for line in lines[1:]:
-            if not line:
-                continue
-            name, _, value = line.partition(":")
-            headers[name.strip().lower()] = value.strip()
-        keep_alive = headers.get("connection", "keep-alive").lower() != "close"
-        length_text = headers.get("content-length", "0")
-        try:
-            length = int(length_text)
-        except ValueError:
-            raise RequestError(
-                "invalid-request", f"invalid Content-Length {length_text!r}"
-            ) from None
-        if length < 0:
-            raise RequestError("invalid-request", f"invalid Content-Length {length}")
-        if length > MAX_BODY_BYTES:
-            raise RequestError(
-                "payload-too-large",
-                f"request body of {length} bytes exceeds the server limit "
-                f"of {MAX_BODY_BYTES}",
-            )
-        body = await reader.readexactly(length) if length else b""
-        # Strip any query string: the protocol carries everything in JSON.
-        path = target.split("?", 1)[0]
-        return method.upper(), path, body, keep_alive
+    def on_framing_error(self, exc: EnvelopeError) -> None:
+        """Count framing failures in the serving stats."""
+        self.service.stats.record_error(exc.error_type)
 
-    async def _dispatch(
+    async def dispatch(
         self, method: str, path: str, body: bytes
     ) -> Tuple[int, Dict[str, object]]:
         """Route one request and map every failure to a typed envelope."""
@@ -272,19 +173,19 @@ class ServingServer:
     async def _route(
         self, method: str, path: str, body: bytes
     ) -> Tuple[int, Dict[str, object]]:
-        """The route table proper (exceptions handled by ``_dispatch``)."""
-        if path == "/healthz":
-            self._require(method, "GET", path)
-            return 200, self.service.healthz()
+        """The route table proper (exceptions handled by ``dispatch``)."""
+        builtin = self.route_builtin(method, path)
+        if builtin is not None:
+            return builtin
         if path == "/stats":
-            self._require(method, "GET", path)
+            self.require_method(method, "GET", path)
             return 200, self.service.stats_snapshot()
         if path == "/v1/decide":
-            self._require(method, "POST", path)
-            return 200, self.service.decide(_parse_body(body))
+            self.require_method(method, "POST", path)
+            return 200, self.service.decide(self.parse_json_body(body))
         if path == "/v1/whatif":
-            self._require(method, "POST", path)
-            document = _parse_body(body)
+            self.require_method(method, "POST", path)
+            document = self.parse_json_body(body)
             loop = asyncio.get_event_loop()
             if self._executor is None:
                 raise ServingError("server is not running")
@@ -295,7 +196,7 @@ class ServingServer:
             )
             return 200, result
         if path == "/v1/reload":
-            self._require(method, "POST", path)
+            self.require_method(method, "POST", path)
             reloaded = self.service.check_reload()
             model = self.service.model
             return 200, {
@@ -304,46 +205,6 @@ class ServingServer:
                 "generation": model.generation,
             }
         raise RequestError("not-found", f"no route for {path!r}")
-
-    @staticmethod
-    def _require(method: str, expected: str, path: str) -> None:
-        """Reject a request whose method does not match the route."""
-        if method != expected:
-            raise RequestError(
-                "invalid-request", f"{path} expects {expected}, got {method}"
-            )
-
-    async def _write_response(
-        self,
-        writer: asyncio.StreamWriter,
-        status: int,
-        document: Dict[str, object],
-        keep_alive: bool,
-    ) -> None:
-        """Serialise one JSON response with standard framing headers."""
-        payload = json.dumps(document, sort_keys=True).encode("utf-8")
-        reason = _STATUS_REASON.get(status, "Error")
-        head = (
-            f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(payload)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            f"\r\n"
-        )
-        writer.write(head.encode("latin-1") + payload)
-        await writer.drain()
-
-
-def _parse_body(body: bytes) -> object:
-    """Decode a request body as one JSON document."""
-    if not body:
-        raise RequestError("invalid-request", "request body must be a JSON document")
-    try:
-        return json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, ValueError) as exc:
-        raise RequestError(
-            "invalid-request", f"request body is not valid JSON: {exc}"
-        ) from exc
 
 
 async def serve_forever(server: ServingServer) -> None:

@@ -24,6 +24,7 @@ from typing import Dict, List
 from repro.core.state import NUM_STATES
 from repro.errors import ServingError
 from repro.serving.client import ServingClient
+from repro.utils.host import host_metadata
 from repro.utils.rng import SeededRNG, derive_seed
 
 #: SLO keys :func:`check_slo` understands, with their comparison sense.
@@ -69,6 +70,7 @@ class LoadReport:
             "latency_ms": dict(self.latency_ms),
             "digests": list(self.digests),
             "errors": dict(self.errors),
+            "host": host_metadata(),
         }
 
 

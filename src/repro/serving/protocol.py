@@ -29,6 +29,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.core.state import NUM_STATES, CoherenceState
 from repro.errors import PolicyError, ServingError
+from repro.net.envelope import EnvelopeError, make_envelope
 
 #: Protocol version stamped into every response envelope.
 PROTOCOL_VERSION = 1
@@ -53,33 +54,19 @@ STATE_ATTRIBUTES: Tuple[str, ...] = (
 )
 
 
-class RequestError(ServingError):
+class RequestError(EnvelopeError, ServingError):
     """A request that failed validation or execution, with a typed envelope."""
 
-    def __init__(self, error_type: str, message: str) -> None:
-        if error_type not in ERROR_STATUS:
-            raise ServingError(f"unknown error-envelope type {error_type!r}")
-        super().__init__(message)
-        #: One of the :data:`ERROR_STATUS` keys.
-        self.error_type = error_type
+    #: The serving vocabulary; see :data:`ERROR_STATUS`.
+    vocabulary = ERROR_STATUS
 
-    @property
-    def status(self) -> int:
-        """The HTTP status code of this error's envelope."""
-        return ERROR_STATUS[self.error_type]
+    #: Unknown envelope types are a serving-side bug.
+    unknown_error = ServingError
 
 
 def error_envelope(error_type: str, message: str) -> Dict[str, object]:
     """Build the JSON error envelope for ``error_type``."""
-    if error_type not in ERROR_STATUS:
-        raise ServingError(f"unknown error-envelope type {error_type!r}")
-    return {
-        "error": {
-            "type": error_type,
-            "status": ERROR_STATUS[error_type],
-            "message": message,
-        }
-    }
+    return make_envelope(ERROR_STATUS, error_type, message, ServingError)
 
 
 def envelope_for_exception(exc: BaseException) -> Tuple[int, Dict[str, object]]:

@@ -1,0 +1,164 @@
+"""Asyncio HTTP/1.1 transport for the experiment-tracking service.
+
+:class:`TrackingServer` is the third :class:`repro.net.http.JsonHttpServer`
+in the repository (after the policy server and the sweep coordinator) and
+by far the simplest: every route is a GET answered inline on the event
+loop by one :class:`~repro.tracking.service.TrackingService` call, which
+reads the underlying documents through :mod:`repro.store` on every
+request.  There is no cache, no executor, and no background task — the
+documents on disk *are* the state, so serving stays consistent with the
+checkout by construction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional, Tuple
+
+from repro.errors import TrackingError
+from repro.net.http import JsonHttpServer
+from repro.tracking.protocol import (
+    TrackingRequestError,
+    envelope_for_exception,
+)
+from repro.tracking.service import TrackingService
+
+#: Largest accepted request body; tracking requests carry no body, so
+#: anything beyond a small allowance is a client error.
+MAX_BODY_BYTES = 1024 * 1024
+
+#: Largest accepted request head (request line + headers, bytes).
+MAX_HEAD_BYTES = 64 * 1024
+
+#: Route prefixes of the two parameterised document routes.
+_RUN_PREFIX = "/v1/runs/"
+_MODEL_PREFIX = "/v1/models/"
+
+
+class TrackingServer(JsonHttpServer):
+    """One asyncio HTTP server wrapping a :class:`TrackingService`.
+
+    Routes (all GET)::
+
+        /healthz           liveness + visible document counts
+        /v1/runs           every sweep run with live progress
+        /v1/runs/<id>      one run with per-job completion records
+        /v1/models         the model registry with provenance
+        /v1/models/<name>  one digest-verified artifact document
+        /v1/bench          the BENCH trajectory with regression flags
+
+    Use as an async context manager (``async with TrackingServer(...)``)
+    or call :meth:`start`/:meth:`close` explicitly.
+    """
+
+    def __init__(
+        self,
+        service: TrackingService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        super().__init__(
+            max_body_bytes=MAX_BODY_BYTES,
+            max_head_bytes=MAX_HEAD_BYTES,
+            wire_error=TrackingRequestError,
+        )
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listening socket."""
+        if self._server is not None:
+            raise TrackingError("server is already running")
+        self._server = await asyncio.start_server(
+            self.handle_connection, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        """Stop accepting and tear down the open connections."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.cancel_connections()
+
+    async def __aenter__(self) -> "TrackingServer":
+        """Start the server on entry."""
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        """Close the server on exit."""
+        await self.close()
+
+    @property
+    def started(self) -> bool:
+        """Whether the listening socket is currently bound."""
+        return self._server is not None
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound listening socket."""
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Routing (transport plumbing lives in repro.net.http)
+    # ------------------------------------------------------------------
+    def healthz_document(self) -> Dict[str, object]:
+        """Liveness + visible document counts for ``/healthz``."""
+        return self.service.healthz()
+
+    async def dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, object]]:
+        """Route one request and map every failure to a typed envelope."""
+        try:
+            return self._route(method, path)
+        except Exception as exc:  # noqa: BLE001 - boundary: everything becomes JSON
+            return envelope_for_exception(exc)
+
+    def _route(self, method: str, path: str) -> Tuple[int, Dict[str, object]]:
+        """The route table proper (exceptions handled by ``dispatch``)."""
+        builtin = self.route_builtin(method, path)
+        if builtin is not None:
+            return builtin
+        if path == "/v1/runs":
+            self.require_method(method, "GET", path)
+            return 200, self.service.runs()
+        if path.startswith(_RUN_PREFIX):
+            self.require_method(method, "GET", path)
+            return 200, self.service.run(path[len(_RUN_PREFIX) :])
+        if path == "/v1/models":
+            self.require_method(method, "GET", path)
+            return 200, self.service.models()
+        if path.startswith(_MODEL_PREFIX):
+            self.require_method(method, "GET", path)
+            return 200, self.service.model(path[len(_MODEL_PREFIX) :])
+        if path == "/v1/bench":
+            self.require_method(method, "GET", path)
+            return 200, self.service.bench()
+        raise TrackingRequestError("not-found", f"no route for {path!r}")
+
+
+async def serve_forever(server: TrackingServer) -> None:
+    """Run ``server`` until cancelled (the CLI entry point's main loop)."""
+    if not server.started:
+        await server.start()
+    try:
+        while True:
+            await asyncio.sleep(3600)
+    finally:
+        await server.close()
+
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "MAX_HEAD_BYTES",
+    "TrackingServer",
+    "serve_forever",
+]

@@ -1,0 +1,89 @@
+"""The JSON wire protocol of the experiment-tracking service.
+
+The third consumer of the :mod:`repro.net` substrate, and deliberately
+the smallest: the tracking API is **read-only** — every route is a GET
+returning one JSON document describing an on-disk artifact, stamped
+with that artifact's raw-file SHA-256 (``document_sha256``) so a client
+can verify the served bytes against the repository checkout.
+
+Failures map to the usual typed envelope with a closed vocabulary
+(:data:`ERROR_STATUS`); a traceback never crosses the wire.  The one
+tracking-specific type is ``document-error``: the requested artifact
+exists in name but failed its own format's validation or digest gate
+(see :mod:`repro.store`), which is a state of the data, not of the
+request — hence 409 rather than 400 or 404.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import DocumentError, ReproError, TrackingError
+from repro.net.envelope import EnvelopeError, make_envelope
+
+#: Protocol version stamped into every response document.
+TRACKING_PROTOCOL_VERSION = 1
+
+#: The closed set of error-envelope types and their HTTP status codes.
+ERROR_STATUS: Dict[str, int] = {
+    "invalid-request": 400,
+    "not-found": 404,
+    "document-error": 409,
+    "payload-too-large": 413,
+    "internal-error": 500,
+}
+
+
+class TrackingRequestError(EnvelopeError, TrackingError):
+    """A tracking request that failed, with a typed envelope."""
+
+    #: The tracking vocabulary; see :data:`ERROR_STATUS`.
+    vocabulary = ERROR_STATUS
+
+    #: Unknown envelope types are a tracking-side bug.
+    unknown_error = TrackingError
+
+
+def error_envelope(error_type: str, message: str) -> Dict[str, object]:
+    """Build the JSON error envelope for ``error_type``."""
+    return make_envelope(ERROR_STATUS, error_type, message, TrackingError)
+
+
+def envelope_for_exception(exc: BaseException) -> Tuple[int, Dict[str, object]]:
+    """Map an exception to ``(status, envelope)``; never leaks a traceback.
+
+    :class:`TrackingRequestError` carries its own type; a
+    :class:`~repro.errors.DocumentError` means the artifact on disk
+    failed its validation or digest gate (``document-error``); every
+    other :class:`~repro.errors.ReproError` is the caller's fault and
+    maps to ``invalid-request``.  Anything else is a bug — the client
+    gets an opaque ``internal-error`` naming only the exception class.
+    """
+    if isinstance(exc, TrackingRequestError):
+        return exc.status, exc.envelope()
+    if isinstance(exc, DocumentError):
+        return (
+            ERROR_STATUS["document-error"],
+            error_envelope("document-error", str(exc)),
+        )
+    if isinstance(exc, ReproError):
+        return (
+            ERROR_STATUS["invalid-request"],
+            error_envelope("invalid-request", str(exc)),
+        )
+    return (
+        ERROR_STATUS["internal-error"],
+        error_envelope(
+            "internal-error",
+            f"internal server error ({type(exc).__name__})",
+        ),
+    )
+
+
+__all__ = [
+    "ERROR_STATUS",
+    "TRACKING_PROTOCOL_VERSION",
+    "TrackingRequestError",
+    "envelope_for_exception",
+    "error_envelope",
+]

@@ -1,0 +1,38 @@
+"""Uniform host metadata for every benchmark artifact the repo writes.
+
+Cross-machine BENCH trajectories are only interpretable if every writer
+records the same facts about where it ran — PR 9's sweep-scaling report
+had to hand-note that CI pinned it to one core.  :func:`host_metadata`
+is that record, produced in exactly one place so the perf harness, the
+serving load lane, and the ad-hoc benchmark scripts can never drift on
+field names.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+from typing import Dict
+
+
+def host_metadata() -> Dict[str, object]:
+    """The uniform ``host`` block stamped into every ``BENCH_*.json``.
+
+    Records the visible CPU count, the platform string, the interpreter
+    version, and the repository version — enough to tell whether two
+    trajectory points are comparable, deliberately free of hostnames and
+    timestamps so committing a report stays deterministic for a given
+    machine and build.
+    """
+    from repro import __version__
+
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "repro_version": __version__,
+    }
+
+
+__all__ = ["host_metadata"]

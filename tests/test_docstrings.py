@@ -2,8 +2,8 @@
 
 CI's lint job runs ruff with the missing-docstring rules (D100-D104,
 D106) over ``repro/__init__.py``, ``repro.core``, ``repro.models``,
-``repro.scenarios``, ``repro.serving``, ``repro.sim``, ``repro.soc``, and
-``repro.perf``;
+``repro.scenarios``, ``repro.serving``, ``repro.sim``, ``repro.soc``,
+``repro.perf``, ``repro.net``, ``repro.store``, and ``repro.tracking``;
 this test applies the
 same policy with the standard library's ``ast`` so the check also runs in
 environments without ruff — every module, public class, and public
@@ -31,6 +31,10 @@ SCOPED_FILES: List[Path] = sorted(
     + list((SRC / "sim").rglob("*.py"))
     + list((SRC / "soc").rglob("*.py"))
     + list((SRC / "perf").rglob("*.py"))
+    + list((SRC / "net").rglob("*.py"))
+    + list((SRC / "store").rglob("*.py"))
+    + list((SRC / "tracking").rglob("*.py"))
+    + [SRC / "utils" / "host.py"]
     + list((SRC / "experiments" / "sweep" / "backends").rglob("*.py"))
     + list((SRC / "experiments" / "sweep" / "distributed").rglob("*.py"))
     + [
@@ -99,6 +103,10 @@ def test_scope_covers_expected_modules():
     assert any(name.startswith("sim/") for name in names)
     assert any(name.startswith("soc/") for name in names)
     assert any(name.startswith("perf/") for name in names)
+    assert any(name.startswith("net/") for name in names)
+    assert any(name.startswith("store/") for name in names)
+    assert any(name.startswith("tracking/") for name in names)
+    assert "utils/host.py" in names
     assert any(name.startswith("experiments/sweep/backends/") for name in names)
     assert any(name.startswith("experiments/sweep/distributed/") for name in names)
     assert "experiments/sweep/config.py" in names

@@ -1,0 +1,108 @@
+"""Unit tests of :mod:`repro.net` — the shared HTTP/envelope substrate.
+
+The three servers in the repository (policy serving, the sweep
+coordinator, the tracking API) all frame bytes through
+:class:`repro.net.http.JsonHttpServer` and build their typed error
+envelopes through :mod:`repro.net.envelope`.  These tests pin the shared
+machinery itself: vocabulary validation at construction, envelope shape,
+the per-service ``wire_error`` wiring, and the status/reason table.
+The wire behavior of each concrete server stays pinned by its own suite
+(``test_serving*.py``, ``test_sweep_distributed.py``,
+``test_tracking.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError, ServingError, SweepError, TrackingError
+from repro.net import EnvelopeError, JsonHttpServer, make_envelope
+from repro.net.http import STATUS_REASON
+
+
+class TestMakeEnvelope:
+    """The one constructor of every error document on the wire."""
+
+    VOCAB = {"invalid-request": 400, "not-found": 404}
+
+    def test_envelope_shape(self):
+        envelope = make_envelope(self.VOCAB, "not-found", "no such thing")
+        assert envelope == {
+            "error": {
+                "type": "not-found",
+                "status": 404,
+                "message": "no such thing",
+            }
+        }
+
+    def test_unknown_type_raises_the_requested_domain_error(self):
+        with pytest.raises(ServingError, match="unknown error-envelope type"):
+            make_envelope(self.VOCAB, "made-up", "boom", ServingError)
+
+    def test_unknown_type_defaults_to_repro_error(self):
+        with pytest.raises(ReproError, match="'made-up'"):
+            make_envelope(self.VOCAB, "made-up", "boom")
+
+
+class TestEnvelopeError:
+    """The exception mixin every service's wire error subclasses."""
+
+    class WireError(EnvelopeError, ReproError):
+        vocabulary = {"invalid-request": 400, "payload-too-large": 413}
+        unknown_error = ReproError
+
+    def test_carries_type_status_and_message(self):
+        exc = self.WireError("payload-too-large", "too big")
+        assert exc.error_type == "payload-too-large"
+        assert exc.status == 413
+        assert str(exc) == "too big"
+        assert exc.envelope()["error"]["type"] == "payload-too-large"
+
+    def test_construction_validates_against_the_vocabulary(self):
+        with pytest.raises(ReproError, match="unknown error-envelope type"):
+            self.WireError("made-up", "boom")
+
+    def test_every_service_wire_error_shares_the_machinery(self):
+        from repro.experiments.sweep.distributed.protocol import WireError
+        from repro.serving.protocol import RequestError
+        from repro.tracking.protocol import TrackingRequestError
+
+        for cls, domain in [
+            (RequestError, ServingError),
+            (WireError, SweepError),
+            (TrackingRequestError, TrackingError),
+        ]:
+            assert issubclass(cls, EnvelopeError)
+            assert issubclass(cls, domain)
+            exc = cls("invalid-request", "x")
+            assert exc.status == 400
+            with pytest.raises(domain, match="unknown error-envelope"):
+                cls("made-up", "x")
+
+
+class TestStatusReason:
+    """Each service's vocabulary must resolve to a real reason phrase."""
+
+    def test_all_vocabularies_are_covered(self):
+        from repro.experiments.sweep.distributed import protocol as sweep
+        from repro.serving import protocol as serving
+        from repro.tracking import protocol as tracking
+
+        for vocabulary in (
+            serving.ERROR_STATUS,
+            sweep.ERROR_STATUS,
+            tracking.ERROR_STATUS,
+        ):
+            for status in vocabulary.values():
+                assert status in STATUS_REASON
+
+    def test_dispatch_and_healthz_are_abstract(self):
+        class Dummy(EnvelopeError, ReproError):
+            vocabulary = {"invalid-request": 400}
+            unknown_error = ReproError
+
+        server = JsonHttpServer(
+            max_body_bytes=1, max_head_bytes=1, wire_error=Dummy
+        )
+        with pytest.raises(NotImplementedError):
+            server.healthz_document()

@@ -1,0 +1,283 @@
+"""Tests of :mod:`repro.tracking` — the read-only experiment-tracking API.
+
+The tracking stack is exercised the same way the serving stack is: the
+service layer directly (no sockets), then the full asyncio HTTP
+transport over loopback with ephemeral ports.  The contract under test
+is *verifiable serving*: every document the API returns carries the
+SHA-256 of the underlying file's raw bytes, progress reflects the live
+manifest (including the crash-tolerated truncated trailing line), and
+failures are typed envelopes — 404 for absent documents, 409 for
+documents that exist but fail their own format's gate, never a
+traceback.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+
+import pytest
+
+from serving_harness import make_artifact
+
+from repro.errors import TrackingError
+from repro.models.registry import ModelRegistry
+from repro.serving.client import ServingClient
+from repro.tracking import (
+    TRACKING_PROTOCOL_VERSION,
+    TrackingRequestError,
+    TrackingServer,
+    TrackingService,
+    envelope_for_exception,
+)
+
+
+@pytest.fixture
+def tracked(tmp_path):
+    """One of everything the tracker reads: a run, a model, two reports."""
+    manifest_dir = tmp_path / "manifests"
+    manifest_dir.mkdir()
+    header = {
+        "kind": "header",
+        "version": 1,
+        "spec": "quick",
+        "jobs": [
+            {"key": "a", "fingerprint": "fp-a"},
+            {"key": "b", "fingerprint": "fp-b"},
+        ],
+        "shard": {"index": 0, "count": 2},
+        "grid_digest": "recorded",
+    }
+    result = {"kind": "result", "fingerprint": "fp-a", "key": "a", "digest": "d"}
+    (manifest_dir / "quick-0of2.manifest.jsonl").write_text(
+        json.dumps(header)
+        + "\n"
+        + json.dumps(result)
+        + "\n"
+        + '{"kind": "resu'  # crash-truncated trailing line
+    )
+
+    models_dir = tmp_path / "models"
+    registry = ModelRegistry(models_dir)
+    registry.root.mkdir()
+    artifact = make_artifact(name="toy")
+    registry.save(artifact)
+
+    bench_dir = tmp_path / "bench"
+    bench_dir.mkdir()
+    before = {
+        "schema": "repro-perf/1",
+        "scale": "quick",
+        "benchmarks": {"sim": {"rate": 100.0, "digest": "x"}},
+    }
+    regressed = {
+        "schema": "repro-perf/1",
+        "scale": "quick",
+        "benchmarks": {"sim": {"rate": 10.0, "digest": "x"}},
+        "before": before,
+    }
+    (bench_dir / "BENCH_sim.json").write_text(json.dumps(regressed))
+    (bench_dir / "BENCH_junk.json").write_text(json.dumps({"not": "a report"}))
+
+    service = TrackingService(
+        manifest_dir=manifest_dir, models_dir=models_dir, bench_dir=bench_dir
+    )
+    return service, artifact, tmp_path
+
+
+def with_tracking_server(service, test):
+    """Run async ``test(server, client)`` against a live tracking server."""
+
+    async def _run():
+        async with TrackingServer(service) as server:
+            async with ServingClient(server.host, server.port) as client:
+                return await test(server, client)
+
+    return asyncio.run(_run())
+
+
+# ----------------------------------------------------------------------
+# Service layer (no sockets)
+# ----------------------------------------------------------------------
+class TestService:
+    """Document reads, live progress, and the digest stamp."""
+
+    def test_runs_report_live_progress_despite_truncation(self, tracked):
+        service, _, _ = tracked
+        listing = service.runs()
+        assert listing["protocol"] == TRACKING_PROTOCOL_VERSION
+        (entry,) = listing["runs"]
+        assert entry["id"] == "quick-0of2"
+        # The truncated trailing record is tolerated, not counted.
+        assert entry["progress"] == {"total": 2, "completed": 1, "pending": 1}
+        assert entry["shard"] == {"index": 0, "count": 2}
+
+    def test_document_sha256_matches_raw_file_bytes(self, tracked):
+        service, _, tmp_path = tracked
+        (entry,) = service.runs()["runs"]
+        raw = (tmp_path / "manifests" / entry["file"]).read_bytes()
+        assert entry["document_sha256"] == hashlib.sha256(raw).hexdigest()
+        (model_entry,) = service.models()["models"]
+        raw = (tmp_path / "models" / model_entry["file"]).read_bytes()
+        assert model_entry["document_sha256"] == hashlib.sha256(raw).hexdigest()
+
+    def test_run_detail_lists_per_job_records(self, tracked):
+        service, _, _ = tracked
+        detail = service.run("quick-0of2")
+        assert [job["done"] for job in detail["jobs"]] == [True, False]
+        assert detail["jobs"][0]["digest"] == "d"
+
+    def test_unknown_run_is_not_found(self, tracked):
+        service, _, _ = tracked
+        with pytest.raises(TrackingRequestError, match="no run") as excinfo:
+            service.run("ghost")
+        assert excinfo.value.status == 404
+
+    def test_run_id_cannot_escape_the_manifest_dir(self, tracked):
+        service, _, _ = tracked
+        for evil in ("../secrets", "a/b", "..", ""):
+            with pytest.raises(TrackingRequestError) as excinfo:
+                service.run(evil)
+            assert excinfo.value.status == 400
+
+    def test_model_detail_carries_the_verified_artifact(self, tracked):
+        service, artifact, _ = tracked
+        document = service.model("toy")
+        assert document["artifact"]["digest"] == artifact.digest
+        (entry,) = service.models()["models"]
+        assert entry["provenance"]["scenario"] == "toy-scenario"
+
+    def test_bench_flags_regressions_and_junk(self, tracked):
+        service, _, _ = tracked
+        trajectory = service.bench()
+        by_file = {entry["file"]: entry for entry in trajectory["reports"]}
+        assert by_file["BENCH_sim.json"]["gate_ok"] is False
+        assert by_file["BENCH_sim.json"]["regressions"]
+        assert "does not carry schema" in by_file["BENCH_junk.json"]["error"]
+
+    def test_unconfigured_directories_are_clean_errors(self, tmp_path):
+        service = TrackingService()
+        with pytest.raises(TrackingError, match="--manifest-dir"):
+            service.runs()
+        with pytest.raises(TrackingError, match="--bench-dir"):
+            service.bench()
+        missing = TrackingService(manifest_dir=tmp_path / "ghost")
+        with pytest.raises(TrackingError, match="does not exist"):
+            missing.runs()
+
+    def test_healthz_counts_visible_documents(self, tracked):
+        service, _, _ = tracked
+        health = service.healthz()
+        assert health["status"] == "ok"
+        assert health["runs"] == 1
+        assert health["models"] == 1
+        assert health["bench_reports"] == 2
+
+
+# ----------------------------------------------------------------------
+# Error mapping
+# ----------------------------------------------------------------------
+class TestEnvelopes:
+    """Exception-to-envelope mapping at the dispatch boundary."""
+
+    def test_document_errors_map_to_409(self):
+        from repro.errors import DocumentError
+
+        status, envelope = envelope_for_exception(DocumentError("tampered"))
+        assert status == 409
+        assert envelope["error"]["type"] == "document-error"
+
+    def test_unexpected_exceptions_stay_opaque(self):
+        status, envelope = envelope_for_exception(RuntimeError("secret detail"))
+        assert status == 500
+        assert "secret detail" not in json.dumps(envelope)
+        assert "RuntimeError" in envelope["error"]["message"]
+
+
+# ----------------------------------------------------------------------
+# HTTP transport (loopback, ephemeral ports)
+# ----------------------------------------------------------------------
+class TestHttp:
+    """The GET-only route table over the shared repro.net transport."""
+
+    def test_round_trip_all_routes(self, tracked):
+        service, artifact, tmp_path = tracked
+
+        async def scenario(server, client):
+            status, health = await client.get("/healthz")
+            assert (status, health["status"]) == (200, "ok")
+
+            status, listing = await client.get("/v1/runs")
+            assert status == 200
+            (entry,) = listing["runs"]
+            raw = (tmp_path / "manifests" / entry["file"]).read_bytes()
+            assert entry["document_sha256"] == hashlib.sha256(raw).hexdigest()
+
+            status, detail = await client.get("/v1/runs/quick-0of2")
+            assert status == 200 and len(detail["jobs"]) == 2
+
+            status, document = await client.get("/v1/models/toy")
+            assert status == 200
+            assert document["artifact"]["digest"] == artifact.digest
+
+            status, trajectory = await client.get("/v1/bench")
+            assert status == 200 and len(trajectory["reports"]) == 2
+
+        with_tracking_server(service, scenario)
+
+    def test_error_envelopes_over_the_wire(self, tracked):
+        service, _, _ = tracked
+
+        async def scenario(server, client):
+            status, envelope = await client.get("/v1/runs/ghost")
+            assert status == 404
+            assert envelope["error"]["type"] == "not-found"
+
+            status, envelope = await client.get("/no/such/route")
+            assert status == 404
+
+            # Wrong method on a read-only route.
+            status, envelope = await client.post("/v1/runs", {})
+            assert status == 400
+            assert envelope["error"]["type"] == "invalid-request"
+
+            # An upper-case model name is an invalid *request* (400)...
+            status, envelope = await client.get("/v1/models/NOPE")
+            assert status == 400
+
+            # ...while an absent model is 404.
+            status, envelope = await client.get("/v1/models/ghost")
+            assert status == 404
+
+        with_tracking_server(service, scenario)
+
+    def test_tampered_artifact_served_as_409(self, tracked):
+        service, _, tmp_path = tracked
+        path = tmp_path / "models" / "toy.json"
+        document = json.loads(path.read_text())
+        document["payload"]["provenance"]["seed"] = 424242
+        path.write_text(json.dumps(document))
+
+        async def scenario(server, client):
+            status, envelope = await client.get("/v1/models/toy")
+            assert status == 409
+            assert envelope["error"]["type"] == "document-error"
+            assert "Traceback" not in json.dumps(envelope)
+            # The listing survives: the broken artifact becomes an
+            # error entry rather than failing the whole answer.
+            status, listing = await client.get("/v1/models")
+            assert status == 200
+            (entry,) = listing["models"]
+            assert "digest" in entry["error"]
+
+        with_tracking_server(service, scenario)
+
+    def test_lifecycle_double_start_is_an_error(self, tracked):
+        service, _, _ = tracked
+
+        async def scenario(server, client):
+            with pytest.raises(TrackingError, match="already running"):
+                await server.start()
+
+        with_tracking_server(service, scenario)

@@ -1,0 +1,86 @@
+"""Error-path contract of the ``python -m repro.tracking`` CLI.
+
+Same convention as ``tests/test_models_cli_errors.py``: every failure a
+user actually hits — an unconfigured or missing document directory, an
+unknown run id, a corrupt manifest — must exit with code 2 and a single
+``error: ...`` line on stderr, never a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def run_tracking_cli(*args: str) -> subprocess.CompletedProcess:
+    """Run ``python -m repro.tracking <args>`` as a user would."""
+    env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+    return subprocess.run(
+        [sys.executable, "-m", "repro.tracking", *args],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def assert_clean_error(completed: subprocess.CompletedProcess, *fragments: str):
+    """One ``error:`` line on stderr, no traceback, exit code 2."""
+    assert completed.returncode == 2, (
+        f"expected exit code 2, got {completed.returncode}\n"
+        f"stdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
+    )
+    assert "Traceback" not in completed.stderr
+    assert "Traceback" not in completed.stdout
+    error_lines = [
+        line for line in completed.stderr.splitlines() if line.startswith("error: ")
+    ]
+    assert len(error_lines) == 1, f"stderr:\n{completed.stderr}"
+    for fragment in fragments:
+        assert fragment in error_lines[0], f"{fragment!r} not in {error_lines[0]!r}"
+
+
+@pytest.mark.slow
+class TestTrackingCliErrors:
+    """The read verbs validate their inputs before printing anything."""
+
+    def test_runs_without_a_manifest_dir(self):
+        completed = run_tracking_cli("runs")
+        assert_clean_error(completed, "no manifest directory", "--manifest-dir")
+
+    def test_runs_with_a_missing_manifest_dir(self, tmp_path):
+        completed = run_tracking_cli(
+            "runs", "--manifest-dir", str(tmp_path / "never-created")
+        )
+        assert_clean_error(completed, "manifest directory", "does not exist")
+
+    def test_run_with_an_unknown_id(self, tmp_path):
+        completed = run_tracking_cli("run", "ghost", "--manifest-dir", str(tmp_path))
+        assert_clean_error(completed, "no run", "ghost")
+
+    def test_run_with_a_corrupt_manifest(self, tmp_path):
+        (tmp_path / "broken.manifest.jsonl").write_text(
+            json.dumps({"kind": "header", "version": 99, "spec": "s"}) + "\n"
+        )
+        completed = run_tracking_cli(
+            "run", "broken", "--manifest-dir", str(tmp_path)
+        )
+        assert_clean_error(completed, "version 99")
+
+    def test_models_with_a_missing_registry(self, tmp_path):
+        completed = run_tracking_cli(
+            "models", "--models-dir", str(tmp_path / "never-created")
+        )
+        assert_clean_error(completed, "models directory", "does not exist")
+
+    def test_bench_without_a_bench_dir(self):
+        completed = run_tracking_cli("bench")
+        assert_clean_error(completed, "no bench directory", "--bench-dir")
